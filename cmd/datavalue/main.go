@@ -1,0 +1,158 @@
+// Command datavalue computes data valuations from a recorded federated
+// training trace (produced by `fedsim -save run.json`), without retraining:
+//
+//	datavalue -run run.json                      # FedSV + ComFedSV
+//	datavalue -run run.json -methods all         # + LOO, TMC, group-testing
+//	datavalue -run run.json -out report.json     # machine-readable report
+//
+// This is the offline half of the paper's pipeline (Fig. 4): the server
+// records local updates during training; valuation is a post-processing
+// step over the utility matrix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"comfedsv/internal/baselines"
+	"comfedsv/internal/mc"
+	"comfedsv/internal/persist"
+	"comfedsv/internal/shapley"
+	"comfedsv/internal/utility"
+)
+
+func main() {
+	var (
+		runPath = flag.String("run", "", "path to a run recorded by fedsim -save (required)")
+		methods = flag.String("methods", "fedsv,comfedsv", "comma-separated: fedsv, comfedsv, loo, tmc, gt, or 'all'")
+		rank    = flag.Int("rank", 5, "matrix-completion rank for ComFedSV")
+		samples = flag.Int("samples", 0, "Monte-Carlo permutations for ComFedSV (0 = exact for N≤14, else 2·N·lnN)")
+		outPath = flag.String("out", "", "optional path for a JSON report")
+		seed    = flag.Int64("seed", 1, "random seed for sampled estimators")
+	)
+	flag.Parse()
+	if *runPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*runPath)
+	if err != nil {
+		fatal(err)
+	}
+	run, err := persist.LoadRun(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	n := run.NumClients()
+	fmt.Printf("loaded run: %d clients, %d rounds, %d model parameters\n",
+		n, len(run.Rounds), run.Model.NumParams())
+
+	want := map[string]bool{}
+	for _, m := range strings.Split(*methods, ",") {
+		m = strings.TrimSpace(strings.ToLower(m))
+		if m == "all" {
+			for _, x := range []string{"fedsv", "comfedsv", "loo", "tmc", "gt"} {
+				want[x] = true
+			}
+			continue
+		}
+		if m != "" {
+			want[m] = true
+		}
+	}
+
+	report := &persist.Report{Methods: map[string][]float64{}}
+	eval := utility.NewEvaluator(run)
+
+	if want["fedsv"] {
+		report.Methods["fedsv"] = shapley.FedSV(eval)
+	}
+	if want["comfedsv"] {
+		values, err := comFedSV(eval, *rank, *samples, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		report.Methods["comfedsv"] = values
+	}
+	if want["loo"] {
+		report.Methods["leave-one-out"] = baselines.LeaveOneOut(eval)
+	}
+	if want["tmc"] {
+		v, err := baselines.TMCShapley(eval, baselines.DefaultTMCConfig(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		report.Methods["tmc-shapley"] = v
+	}
+	if want["gt"] {
+		v, err := baselines.GroupTesting(eval, baselines.DefaultGroupTestingConfig(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		report.Methods["group-testing"] = v
+	}
+	if len(report.Methods) == 0 {
+		fatal(fmt.Errorf("no recognized methods in %q", *methods))
+	}
+
+	names := make([]string, 0, len(report.Methods))
+	for name := range report.Methods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("\nclient")
+	for _, name := range names {
+		fmt.Printf("\t%s", name)
+	}
+	fmt.Println()
+	for i := 0; i < n; i++ {
+		fmt.Printf("%d", i)
+		for _, name := range names {
+			fmt.Printf("\t%+.5f", report.Methods[name][i])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nutility evaluations: %d\n", eval.Calls())
+
+	if *outPath != "" {
+		out, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer out.Close()
+		if err := persist.SaveReport(out, report); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *outPath)
+	}
+}
+
+func comFedSV(eval *utility.Evaluator, rank, samples int, seed int64) ([]float64, error) {
+	n := eval.Run().NumClients()
+	if samples <= 0 && n <= 14 {
+		res, err := shapley.ComFedSVExact(eval, mc.DefaultConfig(rank))
+		if err != nil {
+			return nil, err
+		}
+		return res.Values, nil
+	}
+	cfg := shapley.DefaultMonteCarloConfig(n, rank, seed)
+	if samples > 0 {
+		cfg.Samples = samples
+	}
+	res, err := shapley.MonteCarlo(eval, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datavalue:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,214 @@
+// Package comfedsv is a Go implementation of ComFedSV — the Completed
+// Federated Shapley Value of Fan et al., "Improving Fairness for Data
+// Valuation in Horizontal Federated Learning" (ICDE 2022) — together with
+// every substrate it needs: a FedAvg training engine, from-scratch models,
+// the utility matrix, low-rank matrix completion, and the FedSV baseline of
+// Wang et al.
+//
+// The package exposes a small façade over the internal pipeline:
+//
+//	report, err := comfedsv.Value(clients, test, comfedsv.Options{...})
+//
+// trains a federated model on the clients' data and returns FedSV and
+// ComFedSV valuations for every client. See examples/ for runnable
+// scenarios and cmd/comfedsv for the experiment harness that regenerates
+// every figure of the paper.
+package comfedsv
+
+import (
+	"errors"
+	"fmt"
+
+	"comfedsv/internal/dataset"
+	"comfedsv/internal/fl"
+	"comfedsv/internal/mc"
+	"comfedsv/internal/model"
+	"comfedsv/internal/shapley"
+	"comfedsv/internal/utility"
+)
+
+// Client is one data owner's local dataset: X[i] is a feature vector and
+// Y[i] its class label in [0, NumClasses) of the enclosing call.
+type Client struct {
+	X [][]float64
+	Y []int
+}
+
+// ModelKind selects the classifier trained by FedAvg.
+type ModelKind int
+
+const (
+	// LogisticRegression is multinomial logistic regression — the strongly
+	// convex setting of the paper's theory (Propositions 1–2).
+	LogisticRegression ModelKind = iota
+	// MLP is a one-hidden-layer perceptron.
+	MLP
+)
+
+// Options configures the valuation pipeline. The zero value is not valid;
+// start from DefaultOptions.
+type Options struct {
+	// NumClasses is the number of label classes across all clients.
+	NumClasses int
+	// Rounds is the number of FedAvg rounds T.
+	Rounds int
+	// ClientsPerRound is the per-round selection size K.
+	ClientsPerRound int
+	// LearningRate is the initial FedAvg learning rate.
+	LearningRate float64
+	// Model selects the classifier.
+	Model ModelKind
+	// HiddenUnits sizes the MLP hidden layer (ignored for logistic regression).
+	HiddenUnits int
+	// Rank is the matrix-completion rank r.
+	Rank int
+	// MonteCarloSamples, if positive, uses Algorithm 1 with that many
+	// permutations; zero uses the exact pipeline (requires ≤ 14 clients).
+	MonteCarloSamples int
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+// DefaultOptions returns a configuration suitable for tens of clients.
+func DefaultOptions(numClasses int) Options {
+	return Options{
+		NumClasses:      numClasses,
+		Rounds:          20,
+		ClientsPerRound: 3,
+		LearningRate:    0.5,
+		Model:           LogisticRegression,
+		HiddenUnits:     16,
+		Rank:            5,
+		Seed:            1,
+	}
+}
+
+// Report is the outcome of a valuation run.
+type Report struct {
+	// FedSV holds the federated Shapley values (Wang et al., Definition 2).
+	FedSV []float64
+	// ComFedSV holds the completed federated Shapley values (Definition 4).
+	ComFedSV []float64
+	// FinalTestLoss is the test loss of the final global model.
+	FinalTestLoss float64
+	// FinalAccuracy is the test accuracy of the final global model.
+	FinalAccuracy float64
+	// ObservedDensity is the fraction of utility-matrix cells observed
+	// before completion.
+	ObservedDensity float64
+	// CompletionRMSE is the observed-entry RMSE of the fitted factorization.
+	CompletionRMSE float64
+	// UtilityCalls counts the distinct test-loss evaluations performed.
+	UtilityCalls int
+}
+
+// Value trains a federated model on the clients' data and values every
+// client with both FedSV and ComFedSV. The test client holds the central
+// server's held-out evaluation data D_c.
+func Value(clients []Client, test Client, opts Options) (*Report, error) {
+	if len(clients) == 0 {
+		return nil, errors.New("comfedsv: no clients")
+	}
+	if opts.NumClasses < 2 {
+		return nil, fmt.Errorf("comfedsv: need at least 2 classes, got %d", opts.NumClasses)
+	}
+	locals := make([]*dataset.Dataset, len(clients))
+	var dim int
+	for i, c := range clients {
+		d, err := toDataset(c, opts.NumClasses)
+		if err != nil {
+			return nil, fmt.Errorf("comfedsv: client %d: %w", i, err)
+		}
+		if i == 0 {
+			dim = d.Dim()
+		} else if d.Dim() != dim {
+			return nil, fmt.Errorf("comfedsv: client %d has dim %d, want %d", i, d.Dim(), dim)
+		}
+		locals[i] = d
+	}
+	testSet, err := toDataset(test, opts.NumClasses)
+	if err != nil {
+		return nil, fmt.Errorf("comfedsv: test set: %w", err)
+	}
+	if testSet.Len() == 0 {
+		return nil, errors.New("comfedsv: empty test set")
+	}
+	if testSet.Dim() != dim {
+		return nil, fmt.Errorf("comfedsv: test set dim %d, clients dim %d", testSet.Dim(), dim)
+	}
+
+	var m model.Model
+	switch opts.Model {
+	case LogisticRegression:
+		m = model.NewLogisticRegression(dim, opts.NumClasses)
+	case MLP:
+		hidden := opts.HiddenUnits
+		if hidden <= 0 {
+			hidden = 16
+		}
+		m = model.NewMLP(dim, hidden, opts.NumClasses)
+	default:
+		return nil, fmt.Errorf("comfedsv: unknown model kind %d", opts.Model)
+	}
+
+	flCfg := fl.Config{
+		Rounds:              opts.Rounds,
+		ClientsPerRound:     opts.ClientsPerRound,
+		LearningRate:        opts.LearningRate,
+		LRDecay:             0.01,
+		LocalSteps:          1,
+		ForceFullFirstRound: true,
+		Seed:                opts.Seed,
+	}
+	run, err := fl.TrainRun(flCfg, m, locals, testSet)
+	if err != nil {
+		return nil, fmt.Errorf("comfedsv: training: %w", err)
+	}
+	eval := utility.NewEvaluator(run)
+
+	report := &Report{
+		FinalTestLoss: m.Loss(run.Final, testSet),
+		FinalAccuracy: model.Accuracy(m, run.Final, testSet),
+	}
+	report.FedSV = shapley.FedSV(eval)
+
+	if opts.MonteCarloSamples > 0 {
+		res, err := shapley.MonteCarlo(eval, shapley.MonteCarloConfig{
+			Samples:    opts.MonteCarloSamples,
+			Completion: mc.DefaultConfig(opts.Rank),
+			Seed:       opts.Seed + 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("comfedsv: %w", err)
+		}
+		report.ComFedSV = res.Values
+		report.ObservedDensity = res.Store.Density()
+		report.CompletionRMSE = res.Completion.TrainRMSE
+	} else {
+		res, err := shapley.ComFedSVExact(eval, mc.DefaultConfig(opts.Rank))
+		if err != nil {
+			return nil, fmt.Errorf("comfedsv: %w", err)
+		}
+		report.ComFedSV = res.Values
+		report.ObservedDensity = res.Store.Density()
+		report.CompletionRMSE = res.Completion.TrainRMSE
+	}
+	report.UtilityCalls = eval.Calls()
+	return report, nil
+}
+
+func toDataset(c Client, numClasses int) (*dataset.Dataset, error) {
+	d := &dataset.Dataset{X: c.X, Y: c.Y, NumClasses: numClasses}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ShapleyValues computes the classical (exact) Shapley value of an
+// arbitrary cooperative game over n ≤ 20 players; u receives a bitmask of
+// coalition members. Exposed for downstream users who want the game-theory
+// core without the federated pipeline.
+func ShapleyValues(n int, u func(coalition uint64) float64) []float64 {
+	return shapley.Exact(n, u)
+}

@@ -1,0 +1,190 @@
+package comfedsv
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"comfedsv/internal/dataset"
+	"comfedsv/internal/rng"
+)
+
+// makeClients builds n public-API clients from the MNIST-like generator,
+// returning the clients, the server test set, and the class count.
+func makeClients(t *testing.T, n, perClient, testSamples int, seed int64) ([]Client, Client) {
+	t.Helper()
+	full := dataset.GenerateImages(dataset.MNISTLikeConfig(seed), n*perClient+testSamples)
+	g := rng.New(seed + 1)
+	train, test := dataset.TrainTestSplit(full, float64(testSamples)/float64(full.Len()), g)
+	parts := dataset.PartitionIID(train, n, g)
+	clients := make([]Client, n)
+	for i, p := range parts {
+		clients[i] = Client{X: p.X, Y: p.Y}
+	}
+	return clients, Client{X: test.X, Y: test.Y}
+}
+
+func TestValueEndToEnd(t *testing.T) {
+	clients, test := makeClients(t, 5, 25, 50, 101)
+	opts := DefaultOptions(10)
+	opts.Rounds = 6
+	opts.ClientsPerRound = 2
+	opts.Model = MLP
+	opts.HiddenUnits = 6
+	opts.LearningRate = 0.1
+	report, err := Value(clients, test, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.FedSV) != 5 || len(report.ComFedSV) != 5 {
+		t.Fatalf("valuation lengths %d/%d, want 5/5", len(report.FedSV), len(report.ComFedSV))
+	}
+	if report.FinalTestLoss <= 0 {
+		t.Fatalf("final test loss %v", report.FinalTestLoss)
+	}
+	if report.FinalAccuracy <= 0.2 {
+		t.Fatalf("final accuracy %v too low — training broken", report.FinalAccuracy)
+	}
+	if report.ObservedDensity <= 0 || report.ObservedDensity > 1 {
+		t.Fatalf("density %v out of range", report.ObservedDensity)
+	}
+	if report.UtilityCalls <= 0 {
+		t.Fatal("no utility calls recorded")
+	}
+}
+
+func TestValueMonteCarloPath(t *testing.T) {
+	clients, test := makeClients(t, 6, 20, 40, 103)
+	opts := DefaultOptions(10)
+	opts.Rounds = 5
+	opts.ClientsPerRound = 2
+	opts.Model = MLP
+	opts.HiddenUnits = 6
+	opts.LearningRate = 0.1
+	opts.MonteCarloSamples = 60
+	report, err := Value(clients, test, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.ComFedSV) != 6 {
+		t.Fatalf("got %d values, want 6", len(report.ComFedSV))
+	}
+}
+
+func TestValueLogisticRegression(t *testing.T) {
+	clients, test := makeClients(t, 4, 20, 40, 105)
+	opts := DefaultOptions(10)
+	opts.Rounds = 4
+	opts.ClientsPerRound = 2
+	opts.LearningRate = 0.1
+	report, err := Value(clients, test, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.FedSV) != 4 {
+		t.Fatal("logreg path broken")
+	}
+}
+
+func TestValueInputValidation(t *testing.T) {
+	clients, test := makeClients(t, 3, 10, 20, 107)
+	opts := DefaultOptions(10)
+	opts.Rounds = 3
+	opts.ClientsPerRound = 2
+
+	t.Run("no clients", func(t *testing.T) {
+		if _, err := Value(nil, test, opts); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+	t.Run("bad classes", func(t *testing.T) {
+		bad := opts
+		bad.NumClasses = 1
+		if _, err := Value(clients, test, bad); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+	t.Run("dim mismatch", func(t *testing.T) {
+		mixed := append([]Client(nil), clients...)
+		mixed[1] = Client{X: [][]float64{{1, 2}}, Y: []int{0}}
+		if _, err := Value(mixed, test, opts); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+	t.Run("empty test", func(t *testing.T) {
+		if _, err := Value(clients, Client{}, opts); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+	t.Run("label out of range", func(t *testing.T) {
+		badClients := append([]Client(nil), clients...)
+		ys := append([]int(nil), badClients[0].Y...)
+		ys[0] = 99
+		badClients[0] = Client{X: badClients[0].X, Y: ys}
+		if _, err := Value(badClients, test, opts); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+	t.Run("unknown model", func(t *testing.T) {
+		bad := opts
+		bad.Model = ModelKind(42)
+		if _, err := Value(clients, test, bad); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+}
+
+func TestValueDuplicateFairness(t *testing.T) {
+	// Integration check of the headline property through the public API:
+	// duplicated clients receive nearly equal ComFedSV.
+	clients, test := makeClients(t, 6, 25, 50, 109)
+	clients[5] = Client{X: clients[0].X, Y: clients[0].Y}
+	opts := DefaultOptions(10)
+	opts.Rounds = 6
+	opts.ClientsPerRound = 2
+	opts.Model = MLP
+	opts.HiddenUnits = 6
+	opts.LearningRate = 0.1
+	report, err := Value(clients, test, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := math.Abs(report.ComFedSV[0] - report.ComFedSV[5])
+	scale := math.Max(math.Abs(report.ComFedSV[0]), math.Abs(report.ComFedSV[5]))
+	if scale > 1e-9 && gap/scale > 0.6 {
+		t.Fatalf("duplicates valued %v vs %v", report.ComFedSV[0], report.ComFedSV[5])
+	}
+}
+
+func TestShapleyValuesFacade(t *testing.T) {
+	// Additive game through the public helper.
+	v := ShapleyValues(3, func(c uint64) float64 {
+		return float64(bits.OnesCount64(c))
+	})
+	for _, x := range v {
+		if math.Abs(x-1) > 1e-9 {
+			t.Fatalf("additive unit game values %v, want all 1", v)
+		}
+	}
+}
+
+func TestValueDeterministic(t *testing.T) {
+	clients, test := makeClients(t, 4, 15, 30, 111)
+	opts := DefaultOptions(10)
+	opts.Rounds = 3
+	opts.ClientsPerRound = 2
+	opts.LearningRate = 0.1
+	a, err := Value(clients, test, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Value(clients, test, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.ComFedSV {
+		if a.ComFedSV[i] != b.ComFedSV[i] || a.FedSV[i] != b.FedSV[i] {
+			t.Fatal("Value must be deterministic in the seed")
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package comfedsv_test
+
+import (
+	"fmt"
+
+	"comfedsv"
+)
+
+// ExampleValue values three data owners on a toy two-class task. Client 2
+// holds mislabeled data, so both metrics rank it last.
+func ExampleValue() {
+	// Feature pattern: class 0 near (-1,-1), class 1 near (+1,+1).
+	good := func(y int, jitter float64) []float64 {
+		s := float64(2*y - 1)
+		return []float64{s + jitter, s - jitter}
+	}
+	clientA := comfedsv.Client{
+		X: [][]float64{good(0, 0.1), good(1, 0.1), good(0, -0.2), good(1, 0.2), good(0, 0.3), good(1, -0.1)},
+		Y: []int{0, 1, 0, 1, 0, 1},
+	}
+	clientB := comfedsv.Client{
+		X: [][]float64{good(0, 0.2), good(1, -0.2), good(0, 0.1), good(1, 0.1), good(0, -0.1), good(1, 0.3)},
+		Y: []int{0, 1, 0, 1, 0, 1},
+	}
+	mislabeled := comfedsv.Client{
+		X: [][]float64{good(0, 0.1), good(1, 0.2), good(0, -0.1), good(1, 0.1), good(0, 0.2), good(1, -0.3)},
+		Y: []int{1, 0, 1, 0, 1, 0}, // all labels flipped
+	}
+	test := comfedsv.Client{
+		X: [][]float64{good(0, 0.15), good(1, -0.15), good(0, -0.25), good(1, 0.25)},
+		Y: []int{0, 1, 0, 1},
+	}
+
+	opts := comfedsv.DefaultOptions(2)
+	opts.Rounds = 8
+	opts.ClientsPerRound = 2
+	opts.LearningRate = 0.5
+	opts.Rank = 2
+
+	report, err := comfedsv.Value([]comfedsv.Client{clientA, clientB, mislabeled}, test, opts)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	worst := 0
+	for i, v := range report.ComFedSV {
+		if v < report.ComFedSV[worst] {
+			worst = i
+		}
+	}
+	fmt.Printf("lowest-valued client: %d\n", worst)
+	// Output:
+	// lowest-valued client: 2
+}

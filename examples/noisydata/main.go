@@ -1,0 +1,36 @@
+// Noisy-data detection: reproduce the Fig. 6 scenario — client i receives
+// Gaussian feature noise on 5·i% of its examples, and the valuation metrics
+// are scored by how well they rank clients by data quality.
+//
+// Run with: go run ./examples/noisydata
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"comfedsv/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultNoisyDataConfig(experiments.MNIST)
+	cfg.Trials = 5
+
+	fmt.Printf("%d clients; client i has %.0f·i%% of its examples corrupted with N(0, %.1f²) noise\n",
+		cfg.NumClients, 100*cfg.NoiseStep, cfg.NoiseSigma)
+	fmt.Printf("training %d rounds, %d clients selected per round, %d trials\n\n",
+		cfg.Rounds, cfg.ClientsPerRound, cfg.Trials)
+
+	res, err := experiments.NoisyData(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Spearman rank correlation with the true quality ranking (higher is better):")
+	fmt.Printf("  ground truth (full utility matrix): %.3f\n", res.GroundTruthCorr)
+	fmt.Printf("  FedSV (observed entries only):      %.3f\n", res.FedSVCorr)
+	fmt.Printf("  ComFedSV (completed matrix):        %.3f\n", res.ComFedSVCorr)
+	fmt.Println("\nThe paper's claim (Fig. 6): ComFedSV tracks the ground truth closely and")
+	fmt.Println("outperforms FedSV, because completion restores the credit of clients that")
+	fmt.Println("random selection left unobserved.")
+}

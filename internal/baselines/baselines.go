@@ -1,0 +1,222 @@
+// Package baselines implements the alternative data-valuation methods the
+// paper positions ComFedSV against (Section II): leave-one-out influence
+// (Wang et al. 2019), truncated Monte-Carlo data Shapley (Ghorbani & Zou
+// 2019) adapted to per-round federated utilities, and the group-testing
+// Shapley estimator (Jia et al. 2019). They operate on the same utility
+// evaluator as FedSV/ComFedSV, so all methods are compared on identical
+// training traces.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"comfedsv/internal/rng"
+	"comfedsv/internal/utility"
+)
+
+// LeaveOneOut computes the per-round leave-one-out influence of every
+// client, the federated adaptation of influence-based valuation: for each
+// round, a client's score is U_t(I_t) − U_t(I_t \ {i}) if it was selected
+// (0 otherwise), summed over rounds. It needs only K+1 utility calls per
+// round, making it the cheapest baseline.
+func LeaveOneOut(e *utility.Evaluator) []float64 {
+	n := e.Run().NumClients()
+	values := make([]float64, n)
+	for t, rd := range e.Run().Rounds {
+		sel := rd.Selected
+		if len(sel) < 2 {
+			continue // removing the only participant leaves no coalition
+		}
+		full := utility.FromMembers(n, sel)
+		uFull := e.Utility(t, full)
+		for _, i := range sel {
+			rest := full.Clone()
+			rest.Remove(i)
+			values[i] += uFull - e.Utility(t, rest)
+		}
+	}
+	return values
+}
+
+// TMCConfig parameterizes the truncated Monte-Carlo Shapley estimator.
+type TMCConfig struct {
+	// Samples is the number of permutations per round.
+	Samples int
+	// TruncationTol stops a permutation scan once the running coalition's
+	// utility is within this tolerance of the full selection's utility
+	// (Ghorbani & Zou's "truncation" device; remaining marginals ≈ 0).
+	TruncationTol float64
+	// Seed drives the permutation sampling.
+	Seed int64
+}
+
+// DefaultTMCConfig returns the settings used in the baseline comparison.
+func DefaultTMCConfig(seed int64) TMCConfig {
+	return TMCConfig{Samples: 30, TruncationTol: 1e-3, Seed: seed}
+}
+
+// TMCShapley computes truncated Monte-Carlo Shapley values per round over
+// the selected clients, summed over rounds — data Shapley (Ghorbani & Zou)
+// transplanted onto the paper's per-round utility. Unselected clients get
+// zero in a round, as in FedSV.
+func TMCShapley(e *utility.Evaluator, cfg TMCConfig) ([]float64, error) {
+	if cfg.Samples <= 0 {
+		return nil, fmt.Errorf("baselines: non-positive sample count %d", cfg.Samples)
+	}
+	n := e.Run().NumClients()
+	g := rng.New(cfg.Seed)
+	values := make([]float64, n)
+	for t, rd := range e.Run().Rounds {
+		sel := rd.Selected
+		k := len(sel)
+		if k == 0 {
+			continue
+		}
+		full := utility.FromMembers(n, sel)
+		uFull := e.Utility(t, full)
+		inv := 1 / float64(cfg.Samples)
+		for s := 0; s < cfg.Samples; s++ {
+			order := g.Perm(k)
+			prefix := utility.NewSet(n)
+			prev := 0.0
+			for _, pos := range order {
+				client := sel[pos]
+				// Truncation: once we are close to the full-coalition
+				// utility, later marginal contributions are ≈ 0.
+				if math.Abs(uFull-prev) < cfg.TruncationTol {
+					break
+				}
+				prefix.Add(client)
+				cur := e.Utility(t, prefix)
+				values[client] += inv * (cur - prev)
+				prev = cur
+			}
+		}
+	}
+	return values, nil
+}
+
+// GroupTestingConfig parameterizes the group-testing estimator.
+type GroupTestingConfig struct {
+	// Tests is the number of random coalition probes per round.
+	Tests int
+	// Seed drives coalition sampling.
+	Seed int64
+}
+
+// DefaultGroupTestingConfig returns the settings used in the baseline
+// comparison.
+func DefaultGroupTestingConfig(seed int64) GroupTestingConfig {
+	return GroupTestingConfig{Tests: 60, Seed: seed}
+}
+
+// GroupTesting estimates per-round Shapley differences with the
+// group-testing reduction of Jia et al.: random coalitions S are drawn
+// with the harmonic size distribution, and the difference of Shapley
+// values between clients i and j is estimated from utilities of coalitions
+// separating them. We recover individual values by anchoring to the
+// full-coalition balance constraint Σᵢ v(i) = U(I_t), per round, over the
+// selected clients.
+func GroupTesting(e *utility.Evaluator, cfg GroupTestingConfig) ([]float64, error) {
+	if cfg.Tests <= 0 {
+		return nil, fmt.Errorf("baselines: non-positive test count %d", cfg.Tests)
+	}
+	n := e.Run().NumClients()
+	g := rng.New(cfg.Seed)
+	values := make([]float64, n)
+
+	for t, rd := range e.Run().Rounds {
+		sel := rd.Selected
+		k := len(sel)
+		if k < 2 {
+			continue
+		}
+		// Z = 2·Σ_{s=1}^{k-1} 1/s; coalition size s drawn ∝ (1/s + 1/(k−s)).
+		weights := make([]float64, k-1)
+		var z float64
+		for s := 1; s < k; s++ {
+			weights[s-1] = 1/float64(s) + 1/float64(k-s)
+			z += weights[s-1]
+		}
+		// Accumulate the group-testing statistic per client pair via the
+		// per-client form: β_i = mean over tests of z·u(S)·1{i∈S}.
+		beta := make([]float64, k)
+		for test := 0; test < cfg.Tests; test++ {
+			// Sample coalition size.
+			u := g.Float64() * z
+			size := 1
+			for s := 1; s < k; s++ {
+				u -= weights[s-1]
+				if u <= 0 {
+					size = s
+					break
+				}
+				size = s
+			}
+			members := g.SampleWithoutReplacement(k, size)
+			coal := utility.NewSet(n)
+			for _, pos := range members {
+				coal.Add(sel[pos])
+			}
+			val := e.Utility(t, coal)
+			for _, pos := range members {
+				beta[pos] += z * val / float64(cfg.Tests)
+			}
+		}
+		// β_i − β_j estimates v(i) − v(j); anchor with the balance
+		// constraint Σ v = U_t(I_t).
+		uFull := e.Utility(t, utility.FromMembers(n, sel))
+		var betaSum float64
+		for _, b := range beta {
+			betaSum += b
+		}
+		for pos, client := range sel {
+			values[client] += beta[pos] - betaSum/float64(k) + uFull/float64(k)
+		}
+	}
+	return values, nil
+}
+
+// Method labels a baseline for reporting.
+type Method int
+
+const (
+	// LOO is leave-one-out influence.
+	LOO Method = iota
+	// TMC is truncated Monte-Carlo data Shapley.
+	TMC
+	// GT is group-testing Shapley.
+	GT
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case LOO:
+		return "leave-one-out"
+	case TMC:
+		return "tmc-shapley"
+	case GT:
+		return "group-testing"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Compute runs the requested baseline with default settings.
+func Compute(m Method, e *utility.Evaluator, seed int64) ([]float64, error) {
+	switch m {
+	case LOO:
+		return LeaveOneOut(e), nil
+	case TMC:
+		return TMCShapley(e, DefaultTMCConfig(seed))
+	case GT:
+		return GroupTesting(e, DefaultGroupTestingConfig(seed))
+	default:
+		return nil, fmt.Errorf("baselines: unknown method %v", m)
+	}
+}
+
+// AllMethods lists the baselines in reporting order.
+var AllMethods = []Method{LOO, TMC, GT}

@@ -1,0 +1,55 @@
+package dataset
+
+import (
+	"fmt"
+
+	"comfedsv/internal/rng"
+)
+
+// AddFeatureNoise adds N(0, sigma²) noise to the features of a uniformly
+// chosen fraction of the examples of d, in place (clone first if the
+// original must survive). It returns the indices of corrupted examples.
+// This is the corruption used by the noisy-data detection experiment
+// (Fig. 6): client i receives fraction 0.05·i.
+func AddFeatureNoise(d *Dataset, fraction, sigma float64, g *rng.RNG) []int {
+	checkFraction(fraction)
+	n := int(fraction * float64(d.Len()))
+	rows := g.SampleWithoutReplacement(d.Len(), n)
+	for _, i := range rows {
+		x := append([]float64(nil), d.X[i]...) // copy-on-write: rows may be shared
+		for j := range x {
+			x[j] += g.Normal(0, sigma)
+		}
+		d.X[i] = x
+	}
+	return rows
+}
+
+// FlipLabels replaces the labels of a uniformly chosen fraction of the
+// examples with a uniformly random *different* class, in place. It returns
+// the indices of flipped examples. This is the corruption used by the
+// noisy-label detection experiment (Fig. 7): 10 of 100 clients get 30%
+// flipped labels.
+func FlipLabels(d *Dataset, fraction float64, g *rng.RNG) []int {
+	checkFraction(fraction)
+	if d.NumClasses < 2 {
+		panic("dataset: cannot flip labels with fewer than two classes")
+	}
+	n := int(fraction * float64(d.Len()))
+	rows := g.SampleWithoutReplacement(d.Len(), n)
+	for _, i := range rows {
+		old := d.Y[i]
+		nu := g.Intn(d.NumClasses - 1)
+		if nu >= old {
+			nu++ // skip the original class so the flip is always a change
+		}
+		d.Y[i] = nu
+	}
+	return rows
+}
+
+func checkFraction(f float64) {
+	if f < 0 || f > 1 {
+		panic(fmt.Sprintf("dataset: fraction %v out of [0,1]", f))
+	}
+}

@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"comfedsv/internal/rng"
+)
+
+// PartitionIID splits d uniformly at random into numClients local datasets
+// of (nearly) equal size. Every example is assigned to exactly one client.
+func PartitionIID(d *Dataset, numClients int, g *rng.RNG) []*Dataset {
+	if numClients <= 0 {
+		panic(fmt.Sprintf("dataset: non-positive client count %d", numClients))
+	}
+	idx := g.Perm(d.Len())
+	return splitIndices(d, idx, numClients)
+}
+
+// PartitionNonIID implements the two-class shard scheme of the original
+// FedAvg paper (McMahan et al. 2017), which the paper adopts for its
+// non-IID setting: examples are sorted by label, cut into 2·numClients
+// shards, and each client receives two shards — so most clients see only
+// (about) two classes.
+func PartitionNonIID(d *Dataset, numClients int, g *rng.RNG) []*Dataset {
+	if numClients <= 0 {
+		panic(fmt.Sprintf("dataset: non-positive client count %d", numClients))
+	}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	// Stable sort by label so shards are label-homogeneous.
+	sort.SliceStable(idx, func(a, b int) bool { return d.Y[idx[a]] < d.Y[idx[b]] })
+
+	numShards := 2 * numClients
+	shardSize := d.Len() / numShards
+	if shardSize == 0 {
+		panic(fmt.Sprintf("dataset: %d examples cannot fill %d shards", d.Len(), numShards))
+	}
+	shardOrder := g.Perm(numShards)
+	out := make([]*Dataset, numClients)
+	for c := 0; c < numClients; c++ {
+		var rows []int
+		for s := 0; s < 2; s++ {
+			shard := shardOrder[2*c+s]
+			lo := shard * shardSize
+			hi := lo + shardSize
+			if shard == numShards-1 {
+				hi = d.Len() // last shard absorbs the remainder
+			}
+			rows = append(rows, idx[lo:hi]...)
+		}
+		out[c] = d.Subset(rows)
+	}
+	return out
+}
+
+func splitIndices(d *Dataset, idx []int, numClients int) []*Dataset {
+	out := make([]*Dataset, numClients)
+	n := len(idx)
+	base := n / numClients
+	rem := n % numClients
+	pos := 0
+	for c := 0; c < numClients; c++ {
+		size := base
+		if c < rem {
+			size++
+		}
+		out[c] = d.Subset(idx[pos : pos+size])
+		pos += size
+	}
+	return out
+}
+
+// TrainTestSplit shuffles d and splits off testFraction of it as a test set.
+func TrainTestSplit(d *Dataset, testFraction float64, g *rng.RNG) (train, test *Dataset) {
+	if testFraction < 0 || testFraction >= 1 {
+		panic(fmt.Sprintf("dataset: test fraction %v out of [0,1)", testFraction))
+	}
+	idx := g.Perm(d.Len())
+	nTest := int(float64(d.Len()) * testFraction)
+	return d.Subset(idx[nTest:]), d.Subset(idx[:nTest])
+}

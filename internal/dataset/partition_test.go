@@ -1,0 +1,227 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"comfedsv/internal/rng"
+)
+
+func labeled(n, classes int) *Dataset {
+	d := &Dataset{NumClasses: classes}
+	for i := 0; i < n; i++ {
+		d.X = append(d.X, []float64{float64(i)})
+		d.Y = append(d.Y, i%classes)
+	}
+	return d
+}
+
+// coverCheck verifies parts are disjoint and cover d exactly, using the
+// unique feature values as identifiers.
+func coverCheck(t *testing.T, d *Dataset, parts []*Dataset) {
+	t.Helper()
+	seen := map[float64]bool{}
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+		for _, x := range p.X {
+			if seen[x[0]] {
+				t.Fatalf("example %v assigned twice", x[0])
+			}
+			seen[x[0]] = true
+		}
+	}
+	if total != d.Len() {
+		t.Fatalf("partition covers %d of %d examples", total, d.Len())
+	}
+}
+
+func TestPartitionIIDCovers(t *testing.T) {
+	d := labeled(103, 10)
+	parts := PartitionIID(d, 7, rng.New(1))
+	if len(parts) != 7 {
+		t.Fatalf("got %d parts, want 7", len(parts))
+	}
+	coverCheck(t, d, parts)
+	// Sizes are balanced within 1.
+	for _, p := range parts {
+		if p.Len() < 103/7 || p.Len() > 103/7+1 {
+			t.Fatalf("unbalanced IID part of size %d", p.Len())
+		}
+	}
+}
+
+func TestPartitionIIDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := rng.New(seed)
+		n := 20 + int(seed%50+50)%50
+		clients := 2 + int(seed%5+5)%5
+		d := labeled(n, 10)
+		parts := PartitionIID(d, clients, g)
+		total := 0
+		for _, p := range parts {
+			total += p.Len()
+		}
+		return total == n && len(parts) == clients
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionNonIIDCoversAndSkews(t *testing.T) {
+	d := labeled(400, 10)
+	parts := PartitionNonIID(d, 10, rng.New(2))
+	coverCheck(t, d, parts)
+	// Two-shard scheme: most clients should see few classes (≤ 4 allowing
+	// shard-boundary spill), never all 10.
+	for i, p := range parts {
+		classes := 0
+		for _, c := range p.ClassCounts() {
+			if c > 0 {
+				classes++
+			}
+		}
+		if classes > 4 {
+			t.Fatalf("client %d sees %d classes; non-IID shards should be label-skewed", i, classes)
+		}
+	}
+}
+
+func TestPartitionNonIIDTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PartitionNonIID(labeled(3, 2), 5, rng.New(1))
+}
+
+func TestPartitionBadClientCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PartitionIID(labeled(10, 2), 0, rng.New(1))
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	d := labeled(100, 10)
+	train, test := TrainTestSplit(d, 0.2, rng.New(3))
+	if test.Len() != 20 || train.Len() != 80 {
+		t.Fatalf("split sizes %d/%d, want 80/20", train.Len(), test.Len())
+	}
+	coverCheck(t, d, []*Dataset{train, test})
+}
+
+func TestTrainTestSplitBadFractionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TrainTestSplit(labeled(10, 2), 1.0, rng.New(1))
+}
+
+func TestAddFeatureNoiseCorruptsRequestedFraction(t *testing.T) {
+	d := labeled(100, 10)
+	orig := d.Clone()
+	rows := AddFeatureNoise(d, 0.3, 1.0, rng.New(4))
+	if len(rows) != 30 {
+		t.Fatalf("corrupted %d rows, want 30", len(rows))
+	}
+	changed := 0
+	for i := range d.X {
+		if d.X[i][0] != orig.X[i][0] {
+			changed++
+		}
+	}
+	if changed != 30 {
+		t.Fatalf("%d rows changed, want 30", changed)
+	}
+}
+
+func TestAddFeatureNoiseCopyOnWrite(t *testing.T) {
+	d := labeled(10, 2)
+	shared := d.Subset([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}) // shares rows
+	AddFeatureNoise(shared, 1.0, 1.0, rng.New(5))
+	for i := range d.X {
+		if d.X[i][0] != float64(i) {
+			t.Fatal("noise on a subset must not mutate the parent's rows")
+		}
+	}
+}
+
+func TestFlipLabelsAlwaysChanges(t *testing.T) {
+	d := labeled(100, 10)
+	orig := append([]int(nil), d.Y...)
+	rows := FlipLabels(d, 0.5, rng.New(6))
+	if len(rows) != 50 {
+		t.Fatalf("flipped %d rows, want 50", len(rows))
+	}
+	for _, r := range rows {
+		if d.Y[r] == orig[r] {
+			t.Fatalf("row %d label unchanged after flip", r)
+		}
+		if d.Y[r] < 0 || d.Y[r] >= d.NumClasses {
+			t.Fatalf("row %d flipped to invalid label %d", r, d.Y[r])
+		}
+	}
+}
+
+func TestFlipLabelsTwoClassesPanicsBelow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d := labeled(10, 2)
+	d.NumClasses = 1
+	d.Y = make([]int, 10)
+	FlipLabels(d, 0.5, rng.New(1))
+}
+
+func TestBadFractionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AddFeatureNoise(labeled(10, 2), 1.5, 1, rng.New(1))
+}
+
+func TestStandardize(t *testing.T) {
+	a := &Dataset{X: [][]float64{{10, 0}, {20, 0}}, Y: []int{0, 1}, NumClasses: 2}
+	b := &Dataset{X: [][]float64{{30, 0}, {40, 0}}, Y: []int{0, 1}, NumClasses: 2}
+	Standardize(a, b)
+	// Pooled first coordinate {10,20,30,40}: mean 25, sd sqrt(125).
+	var mean, sq float64
+	for _, d := range []*Dataset{a, b} {
+		for _, x := range d.X {
+			mean += x[0]
+			sq += x[0] * x[0]
+		}
+	}
+	mean /= 4
+	if mean > 1e-12 || mean < -1e-12 {
+		t.Fatalf("standardized mean %v, want 0", mean)
+	}
+	if v := sq/4 - mean*mean; v < 0.99 || v > 1.01 {
+		t.Fatalf("standardized variance %v, want 1", v)
+	}
+	// Constant coordinate must survive (centered, not divided by 0).
+	for _, d := range []*Dataset{a, b} {
+		for _, x := range d.X {
+			if x[1] != 0 {
+				t.Fatalf("constant coordinate became %v", x[1])
+			}
+		}
+	}
+}
+
+func TestStandardizeEmptyNoop(t *testing.T) {
+	Standardize() // must not panic
+	d := &Dataset{NumClasses: 2}
+	Standardize(d)
+}

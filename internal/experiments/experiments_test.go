@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// Quick configurations keep the integration tests fast while still running
+// every experiment end to end.
+
+func TestScenarioBuildAllKinds(t *testing.T) {
+	for _, kind := range AllKinds {
+		for _, nonIID := range []bool{false, true} {
+			sc := Scenario{Kind: kind, NumClients: 4, SamplesPerClient: 20, TestSamples: 40, NonIID: nonIID, Seed: 1}
+			clients, test, m := sc.Build()
+			if len(clients) != 4 {
+				t.Fatalf("%v: %d clients, want 4", kind, len(clients))
+			}
+			for i, c := range clients {
+				if c.Len() == 0 {
+					t.Fatalf("%v: client %d empty", kind, i)
+				}
+				if err := c.Validate(); err != nil {
+					t.Fatalf("%v client %d: %v", kind, i, err)
+				}
+			}
+			if test.Len() == 0 {
+				t.Fatalf("%v: empty test set", kind)
+			}
+			if m.NumParams() == 0 {
+				t.Fatalf("%v: model has no parameters", kind)
+			}
+		}
+	}
+}
+
+func TestParseDatasetKind(t *testing.T) {
+	for _, kind := range AllKinds {
+		got, err := ParseDatasetKind(kind.String())
+		if err != nil || got != kind {
+			t.Fatalf("round-trip %v failed: %v %v", kind, got, err)
+		}
+	}
+	if _, err := ParseDatasetKind("nope"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestFig1SeriesShape(t *testing.T) {
+	series := Fig1(10, []float64{0.1, 0.2})
+	if len(series) != 2 {
+		t.Fatalf("got %d series, want 2", len(series))
+	}
+	for _, s := range series {
+		if len(s.Values) != 11 {
+			t.Fatalf("series has %d points, want 11", len(s.Values))
+		}
+		if s.Values[0] < s.Values[10] {
+			t.Fatal("P_s must decrease in s")
+		}
+	}
+	if len(Fig1Defaults()) == 0 {
+		t.Fatal("no default participation rates")
+	}
+}
+
+func TestFairnessQuick(t *testing.T) {
+	cfg := DefaultFairnessConfig(MNIST)
+	cfg.Trials = 3
+	cfg.Rounds = 5
+	cfg.SamplesPerClient = 20
+	cfg.TestSamples = 50
+	res, err := Fairness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FedSVDiffs) != 3 || len(res.ComFedSVDiffs) != 3 {
+		t.Fatalf("diff counts %d/%d, want 3/3", len(res.FedSVDiffs), len(res.ComFedSVDiffs))
+	}
+	for _, d := range append(append([]float64(nil), res.FedSVDiffs...), res.ComFedSVDiffs...) {
+		if d < 0 || math.IsNaN(d) {
+			t.Fatalf("invalid relative difference %v", d)
+		}
+	}
+	// Exceeds is a fraction.
+	if f := res.FedSVExceeds(0.5); f < 0 || f > 1 {
+		t.Fatalf("exceed fraction %v", f)
+	}
+}
+
+func TestFairnessTooFewClients(t *testing.T) {
+	cfg := DefaultFairnessConfig(MNIST)
+	cfg.NumClients = 1
+	if _, err := Fairness(cfg); err == nil {
+		t.Fatal("expected error for 1 client")
+	}
+}
+
+func TestLowRankQuick(t *testing.T) {
+	cfg := DefaultLowRankConfig(MNIST)
+	cfg.Rounds = 8
+	cfg.NumClients = 6
+	cfg.SamplesPerClient = 20
+	cfg.TestSamples = 40
+	cfg.TopK = 5
+	res, err := LowRank(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SingularValues) != 5 {
+		t.Fatalf("got %d singular values, want 5", len(res.SingularValues))
+	}
+	if res.MatrixRows != 8 || res.MatrixCols != 64 {
+		t.Fatalf("matrix %dx%d, want 8x64", res.MatrixRows, res.MatrixCols)
+	}
+	// Spectrum decays: σ1 should dominate σ5 by a wide margin (the paper's
+	// low-rankness claim).
+	if res.SingularValues[4] > 0.5*res.SingularValues[0] {
+		t.Fatalf("utility matrix not low-rank: %v", res.SingularValues)
+	}
+}
+
+func TestRankImpactQuick(t *testing.T) {
+	cfg := DefaultRankImpactConfig()
+	cfg.Rounds = 8
+	cfg.NumClients = 6
+	cfg.SamplesPerClient = 20
+	cfg.TestSamples = 40
+	cfg.Ranks = []int{1, 3}
+	points, err := RankImpact(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.RelativeError < 0 || math.IsNaN(p.RelativeError) {
+			t.Fatalf("invalid relative error %v", p.RelativeError)
+		}
+		if p.RelativeError > 1.5 {
+			t.Fatalf("completion much worse than predicting zero: %v", p.RelativeError)
+		}
+	}
+}
+
+func TestNoisyDataQuick(t *testing.T) {
+	cfg := DefaultNoisyDataConfig(MNIST)
+	cfg.Trials = 2
+	cfg.Rounds = 6
+	cfg.NumClients = 6
+	cfg.SamplesPerClient = 30
+	cfg.TestSamples = 50
+	res, err := NoisyData(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []float64{res.GroundTruthCorr, res.FedSVCorr, res.ComFedSVCorr} {
+		if c < -1-1e-9 || c > 1+1e-9 || math.IsNaN(c) {
+			t.Fatalf("correlation %v out of range", c)
+		}
+	}
+	if len(res.PerTrialFedSV) != 2 {
+		t.Fatalf("per-trial records %d, want 2", len(res.PerTrialFedSV))
+	}
+}
+
+func TestNoisyLabelQuick(t *testing.T) {
+	cfg := DefaultNoisyLabelConfig(MNIST)
+	cfg.NumClients = 12
+	cfg.NumNoisy = 3
+	cfg.Rounds = 5
+	cfg.SamplesPerClient = 15
+	cfg.TestSamples = 40
+	cfg.Participations = []float64{0.3}
+	cfg.MCSamples = 40
+	cfg.FedSVSamples = 3
+	res, err := NoisyLabel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("got %d points, want 1", len(res.Points))
+	}
+	p := res.Points[0]
+	for _, j := range []float64{p.FedSVJaccard, p.ComFedSVJaccard} {
+		if j < 0 || j > 1 {
+			t.Fatalf("Jaccard %v out of range", j)
+		}
+	}
+}
+
+func TestNoisyLabelValidation(t *testing.T) {
+	cfg := DefaultNoisyLabelConfig(MNIST)
+	cfg.NumNoisy = cfg.NumClients + 1
+	if _, err := NoisyLabel(cfg); err == nil {
+		t.Fatal("expected error for too many noisy clients")
+	}
+}
+
+func TestTimingQuick(t *testing.T) {
+	cfg := DefaultTimingConfig()
+	cfg.ClientCounts = []int{6, 10}
+	cfg.Rounds = 3
+	cfg.SamplesPerClient = 10
+	cfg.TestSamples = 30
+	points, err := Timing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.FedSVSeconds <= 0 || p.ComFedSVSeconds <= 0 {
+			t.Fatalf("non-positive timings: %+v", p)
+		}
+		if p.FedSVCalls <= 0 || p.ComFedSVCalls <= 0 {
+			t.Fatalf("non-positive call counts: %+v", p)
+		}
+		// The paper's point: FedSV is cheaper than ComFedSV in calls.
+		if p.CallRatio >= 1 {
+			t.Fatalf("FedSV should need fewer calls: ratio %v", p.CallRatio)
+		}
+	}
+}
+
+func TestEpsRankQuick(t *testing.T) {
+	cfg := DefaultEpsRankConfig()
+	cfg.RoundsSweep = []int{4, 8}
+	cfg.NumClients = 5
+	cfg.SamplesPerClient = 15
+	cfg.TestSamples = 40
+	points, err := EpsRank(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.EpsRank < 0 || p.EpsRank > p.Rounds {
+			t.Fatalf("eps-rank %d out of range for T=%d", p.EpsRank, p.Rounds)
+		}
+	}
+}
+
+func TestTheorem1Quick(t *testing.T) {
+	cfg := DefaultTheorem1Config()
+	cfg.Rounds = 5
+	cfg.SamplesPerClient = 20
+	cfg.TestSamples = 40
+	res, err := Theorem1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("Theorem 1 bound must hold: gap %v > bound %v", res.SymmetryGap, res.Bound)
+	}
+	if res.GroundTruthGap > 1e-9 {
+		t.Fatalf("ground-truth gap for duplicates must vanish, got %v", res.GroundTruthGap)
+	}
+	if res.Delta < 0 {
+		t.Fatalf("negative completion tolerance %v", res.Delta)
+	}
+}
+
+func TestFLConfigFor(t *testing.T) {
+	a := FLConfigFor(Synthetic, 10, 3, 1)
+	b := FLConfigFor(MNIST, 10, 3, 1)
+	if a.LearningRate == b.LearningRate {
+		t.Fatal("per-kind learning rates expected")
+	}
+	if a.Rounds != 10 || a.ClientsPerRound != 3 {
+		t.Fatal("rounds/per-round not propagated")
+	}
+}
+
+func TestBaselinesQuick(t *testing.T) {
+	cfg := DefaultBaselinesConfig(MNIST)
+	cfg.Trials = 1
+	cfg.NumClients = 6
+	cfg.Rounds = 5
+	cfg.SamplesPerClient = 20
+	cfg.TestSamples = 40
+	res, err := Baselines(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range BaselineOrder {
+		rho, ok := res.Correlations[name]
+		if !ok {
+			t.Fatalf("method %s missing from results", name)
+		}
+		if rho < -1-1e-9 || rho > 1+1e-9 {
+			t.Fatalf("%s correlation %v out of range", name, rho)
+		}
+		if res.UtilityCalls[name] <= 0 {
+			t.Fatalf("%s has no recorded cost", name)
+		}
+	}
+	// Cost ordering sanity: ground truth is the most expensive, LOO cheapest.
+	if res.UtilityCalls["ground-truth"] <= res.UtilityCalls["fedsv"] {
+		t.Fatal("ground truth must cost more than FedSV")
+	}
+	if res.UtilityCalls["leave-one-out"] >= res.UtilityCalls["fedsv"] {
+		t.Fatal("leave-one-out must be cheaper than exact FedSV")
+	}
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"comfedsv/internal/shapley"
+)
+
+// Fig1Series is one curve of Fig. 1: the unfairness probability P_s of
+// FedSV as a function of s for one participation probability p.
+type Fig1Series struct {
+	P      float64
+	S      []int
+	Values []float64
+}
+
+// Fig1 reproduces Fig. 1: P_s for s = 0..T for each participation
+// probability. The paper plots curves for several p derived from
+// (N, m) combinations; we accept p directly.
+func Fig1(t int, ps []float64) []Fig1Series {
+	out := make([]Fig1Series, len(ps))
+	for i, p := range ps {
+		series := Fig1Series{P: p, S: make([]int, t+1), Values: make([]float64, t+1)}
+		for s := 0; s <= t; s++ {
+			series.S[s] = s
+			series.Values[s] = shapley.UnfairnessProbability(t, s, p)
+		}
+		out[i] = series
+	}
+	return out
+}
+
+// Fig1Defaults returns the participation probabilities used for the
+// default rendering: p for (N=10, m∈{1,…,5}).
+func Fig1Defaults() []float64 {
+	ms := []int{1, 2, 3, 4, 5}
+	ps := make([]float64, len(ms))
+	for i, m := range ms {
+		ps[i] = shapley.ParticipationProbability(10, m)
+	}
+	return ps
+}

@@ -1,0 +1,140 @@
+// Package experiments contains one entry point per table/figure of the
+// paper's evaluation (Section VII), built on the fl / utility / mc /
+// shapley substrates. Each function returns plain data structs; formatting
+// lives in cmd/comfedsv and the benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"comfedsv/internal/dataset"
+	"comfedsv/internal/model"
+	"comfedsv/internal/rng"
+)
+
+// DatasetKind selects one of the paper's four benchmark data settings.
+type DatasetKind int
+
+const (
+	// Synthetic is the synthetic(α,β) generator of Li et al. used with
+	// logistic regression.
+	Synthetic DatasetKind = iota
+	// MNIST is the MNIST stand-in used with an MLP.
+	MNIST
+	// FMNIST is the Fashion-MNIST stand-in used with a CNN.
+	FMNIST
+	// CIFAR is the CIFAR-10 stand-in used with a (small) CNN.
+	CIFAR
+)
+
+// AllKinds lists the four dataset settings in the paper's order.
+var AllKinds = []DatasetKind{Synthetic, MNIST, FMNIST, CIFAR}
+
+// String returns the dataset name as used in the paper's figures.
+func (k DatasetKind) String() string {
+	switch k {
+	case Synthetic:
+		return "synthetic"
+	case MNIST:
+		return "mnist"
+	case FMNIST:
+		return "fmnist"
+	case CIFAR:
+		return "cifar10"
+	default:
+		return fmt.Sprintf("dataset(%d)", int(k))
+	}
+}
+
+// ParseDatasetKind converts a name (as printed by String) back to a kind.
+func ParseDatasetKind(name string) (DatasetKind, error) {
+	for _, k := range AllKinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: unknown dataset %q", name)
+}
+
+// Scenario describes a federated data+model setting.
+type Scenario struct {
+	Kind             DatasetKind
+	NumClients       int
+	SamplesPerClient int
+	TestSamples      int
+	NonIID           bool
+	Seed             int64
+}
+
+// Build materializes the scenario: per-client datasets, the server's test
+// set, and the model the paper pairs with this dataset (logistic regression
+// for synthetic, MLP for MNIST, CNN for FMNIST/CIFAR).
+func (sc Scenario) Build() (clients []*dataset.Dataset, test *dataset.Dataset, m model.Model) {
+	g := rng.New(sc.Seed)
+	switch sc.Kind {
+	case Synthetic:
+		alpha, beta := 0.0, 0.0
+		if sc.NonIID {
+			alpha, beta = 1.0, 1.0
+		}
+		cfg := dataset.DefaultSyntheticConfig(alpha, beta, sc.Seed)
+		// Each client contributes held-out samples to the server's test
+		// set, so D_c is a mixture of the clients' own distributions (the
+		// task FedAvg actually optimizes in Eq. 1).
+		testPer := (sc.TestSamples + sc.NumClients - 1) / sc.NumClients
+		sizes := make([]int, sc.NumClients)
+		for i := range sizes {
+			sizes[i] = sc.SamplesPerClient + testPer
+		}
+		all := dataset.GenerateSynthetic(cfg, sizes)
+		clients = make([]*dataset.Dataset, sc.NumClients)
+		heldOut := make([]*dataset.Dataset, sc.NumClients)
+		for i, d := range all {
+			idx := make([]int, sc.SamplesPerClient)
+			for j := range idx {
+				idx[j] = j
+			}
+			clients[i] = d.Subset(idx)
+			rest := make([]int, testPer)
+			for j := range rest {
+				rest[j] = sc.SamplesPerClient + j
+			}
+			heldOut[i] = d.Subset(rest)
+		}
+		test = dataset.Concat(heldOut...)
+		test.Shuffle(g.Split(3))
+		// Standardize features pooled across all parties (the usual
+		// preprocessing for logistic regression; see dataset.Standardize).
+		pooled := append(append([]*dataset.Dataset(nil), clients...), test)
+		dataset.Standardize(pooled...)
+		m = model.NewLogisticRegression(cfg.Dim, cfg.NumClasses)
+	case MNIST, FMNIST, CIFAR:
+		var icfg dataset.ImageConfig
+		switch sc.Kind {
+		case MNIST:
+			icfg = dataset.MNISTLikeConfig(sc.Seed)
+		case FMNIST:
+			icfg = dataset.FMNISTLikeConfig(sc.Seed)
+		default:
+			icfg = dataset.CIFARLikeConfig(sc.Seed)
+		}
+		total := sc.NumClients*sc.SamplesPerClient + sc.TestSamples
+		full := dataset.GenerateImages(icfg, total)
+		train, testSet := dataset.TrainTestSplit(full, float64(sc.TestSamples)/float64(total), g.Split(1))
+		test = testSet
+		if sc.NonIID {
+			clients = dataset.PartitionNonIID(train, sc.NumClients, g.Split(2))
+		} else {
+			clients = dataset.PartitionIID(train, sc.NumClients, g.Split(2))
+		}
+		switch sc.Kind {
+		case MNIST:
+			m = model.NewMLP(icfg.Shape.Size(), 16, icfg.NumClasses)
+		default:
+			m = model.NewCNN(icfg.Shape, 4, icfg.NumClasses)
+		}
+	default:
+		panic(fmt.Sprintf("experiments: unknown dataset kind %d", sc.Kind))
+	}
+	return clients, test, m
+}

@@ -1,0 +1,232 @@
+// Package fl implements the horizontal federated-learning substrate: the
+// FedAvg algorithm (McMahan et al. 2017) exactly as described in Section III
+// of the paper, with uniform client selection and full per-round recording
+// of every client's local update — the information the utility matrix and
+// both Shapley metrics are computed from.
+package fl
+
+import (
+	"fmt"
+
+	"comfedsv/internal/dataset"
+	"comfedsv/internal/mat"
+	"comfedsv/internal/model"
+	"comfedsv/internal/rng"
+)
+
+// Config controls one federated training run.
+type Config struct {
+	// Rounds is the number of FedAvg rounds T.
+	Rounds int
+	// ClientsPerRound is the selection size K = |I_t|.
+	ClientsPerRound int
+	// LearningRate is the initial learning rate η₁.
+	LearningRate float64
+	// LRDecay, if positive, sets η_t = LearningRate / (1 + LRDecay·t),
+	// matching the non-increasing schedules required by Propositions 1–2.
+	// Zero keeps the rate constant.
+	LRDecay float64
+	// LocalSteps is the number of local gradient steps per round (the paper
+	// presents one deterministic step; its analysis generalizes).
+	LocalSteps int
+	// BatchSize, if positive, makes local updates stochastic: each local
+	// step uses a uniformly sampled mini-batch of this size instead of the
+	// client's full dataset — the "arbitrary number of stochastic local
+	// updates" generalization the paper notes after Eq. 4.
+	BatchSize int
+	// WeightedAggregation aggregates selected locals weighted by local
+	// dataset size (the original FedAvg weighting) instead of uniformly.
+	// The paper uses uniform averaging (Eq. 4), so this defaults to false.
+	WeightedAggregation bool
+	// DropoutRate, if positive, is the per-round probability that a
+	// selected client fails to report; the server then aggregates the
+	// remaining locals (at least one reporter is always kept). This is a
+	// failure-injection knob for robustness testing, not part of the
+	// paper's protocol.
+	DropoutRate float64
+	// ForceFullFirstRound selects every client in round 0, implementing the
+	// Everyone-Being-Heard assumption (Assumption 1 / Algorithm 1).
+	ForceFullFirstRound bool
+	// Seed drives client selection and parameter initialization.
+	Seed int64
+}
+
+// DefaultConfig mirrors the small-scale setup used throughout the paper's
+// experiments: T rounds, K selected clients, one local step.
+func DefaultConfig(rounds, clientsPerRound int) Config {
+	return Config{
+		Rounds:              rounds,
+		ClientsPerRound:     clientsPerRound,
+		LearningRate:        0.5,
+		LRDecay:             0.01,
+		LocalSteps:          1,
+		ForceFullFirstRound: true,
+		Seed:                1,
+	}
+}
+
+// Round records everything observable about one FedAvg round.
+type Round struct {
+	// Global is the global model w^t broadcast at the start of the round.
+	Global []float64
+	// Locals[i] is client i's updated local model w_i^{t+1}. Every client
+	// computes an update (Assumption 1: everyone is willing to participate);
+	// only the selected ones are aggregated.
+	Locals [][]float64
+	// Selected is the subset I_t aggregated into the next global model.
+	Selected []int
+	// TestLoss is ℓ(w^t; D_c), the reference point of the per-round utility
+	// u_t(w) = ℓ(w^t; D_c) − ℓ(w; D_c) (Eq. 6).
+	TestLoss float64
+	// LearningRate is η_t.
+	LearningRate float64
+}
+
+// Run is a completed federated training trace.
+type Run struct {
+	Model   model.Model
+	Test    *dataset.Dataset
+	Clients []*dataset.Dataset
+	Rounds  []Round
+	// Final is the global model after the last round.
+	Final []float64
+}
+
+// NumClients returns the number of participating clients N.
+func (r *Run) NumClients() int { return len(r.Clients) }
+
+// Utility evaluates the paper's per-round utility U_t(S) = u_t(w_S^{t+1})
+// where w_S^{t+1} is the average of the locals of S (Section V). It panics
+// if S is empty; the empty coalition's utility is 0 by convention and is
+// handled by callers.
+func (r *Run) Utility(t int, s []int) float64 {
+	if len(s) == 0 {
+		panic("fl: utility of empty coalition")
+	}
+	rd := &r.Rounds[t]
+	vecs := make([][]float64, len(s))
+	for i, c := range s {
+		vecs[i] = rd.Locals[c]
+	}
+	wS := mat.MeanVecs(vecs)
+	return rd.TestLoss - r.Model.Loss(wS, r.Test)
+}
+
+// TrainRun executes FedAvg and records the full trace. Every client
+// computes its local update in every round (needed by the ground-truth
+// utility matrix); only the selected subset is aggregated, so the global
+// trajectory is identical to a run that skipped unselected clients.
+func TrainRun(cfg Config, m model.Model, clients []*dataset.Dataset, test *dataset.Dataset) (*Run, error) {
+	if err := validate(cfg, clients); err != nil {
+		return nil, err
+	}
+	g := rng.New(cfg.Seed)
+	selRNG := g.Split(1)
+	batchRNG := g.Split(3)
+	dropRNG := g.Split(4)
+	w := m.InitParams(g.Split(2))
+
+	run := &Run{Model: m, Test: test, Clients: clients, Rounds: make([]Round, 0, cfg.Rounds)}
+	n := len(clients)
+
+	for t := 0; t < cfg.Rounds; t++ {
+		lr := cfg.LearningRate
+		if cfg.LRDecay > 0 {
+			lr = cfg.LearningRate / (1 + cfg.LRDecay*float64(t))
+		}
+		rd := Round{
+			Global:       mat.CopyVec(w),
+			Locals:       make([][]float64, n),
+			TestLoss:     m.Loss(w, test),
+			LearningRate: lr,
+		}
+		// Local updates for every client.
+		for i, d := range clients {
+			local := mat.CopyVec(w)
+			for step := 0; step < cfg.LocalSteps; step++ {
+				batch := d
+				if cfg.BatchSize > 0 && cfg.BatchSize < d.Len() {
+					batch = d.Subset(batchRNG.SampleWithoutReplacement(d.Len(), cfg.BatchSize))
+				}
+				grad := m.Gradient(local, batch)
+				mat.Axpy(-lr, grad, local)
+			}
+			rd.Locals[i] = local
+		}
+		// Client selection.
+		if t == 0 && cfg.ForceFullFirstRound {
+			rd.Selected = make([]int, n)
+			for i := range rd.Selected {
+				rd.Selected[i] = i
+			}
+		} else {
+			rd.Selected = selRNG.SampleWithoutReplacement(n, cfg.ClientsPerRound)
+		}
+		// Failure injection: selected clients may fail to report.
+		reporters := rd.Selected
+		if cfg.DropoutRate > 0 {
+			kept := reporters[:0:0]
+			for _, c := range reporters {
+				if !dropRNG.Bernoulli(cfg.DropoutRate) {
+					kept = append(kept, c)
+				}
+			}
+			if len(kept) == 0 {
+				kept = []int{reporters[dropRNG.Intn(len(reporters))]}
+			}
+			reporters = kept
+		}
+		// Aggregate the reporting locals into the next global model.
+		if cfg.WeightedAggregation {
+			total := 0
+			for _, c := range reporters {
+				total += clients[c].Len()
+			}
+			next := make([]float64, len(w))
+			for _, c := range reporters {
+				mat.Axpy(float64(clients[c].Len())/float64(total), rd.Locals[c], next)
+			}
+			w = next
+		} else {
+			vecs := make([][]float64, len(reporters))
+			for i, c := range reporters {
+				vecs[i] = rd.Locals[c]
+			}
+			w = mat.MeanVecs(vecs)
+		}
+		rd.Selected = reporters
+		run.Rounds = append(run.Rounds, rd)
+	}
+	run.Final = mat.CopyVec(w)
+	return run, nil
+}
+
+func validate(cfg Config, clients []*dataset.Dataset) error {
+	if cfg.Rounds <= 0 {
+		return fmt.Errorf("fl: rounds must be positive, got %d", cfg.Rounds)
+	}
+	if len(clients) == 0 {
+		return fmt.Errorf("fl: no clients")
+	}
+	if cfg.ClientsPerRound <= 0 || cfg.ClientsPerRound > len(clients) {
+		return fmt.Errorf("fl: clients per round %d out of range [1,%d]", cfg.ClientsPerRound, len(clients))
+	}
+	if cfg.LearningRate <= 0 {
+		return fmt.Errorf("fl: learning rate must be positive, got %v", cfg.LearningRate)
+	}
+	if cfg.LocalSteps <= 0 {
+		return fmt.Errorf("fl: local steps must be positive, got %d", cfg.LocalSteps)
+	}
+	if cfg.BatchSize < 0 {
+		return fmt.Errorf("fl: negative batch size %d", cfg.BatchSize)
+	}
+	if cfg.DropoutRate < 0 || cfg.DropoutRate >= 1 {
+		return fmt.Errorf("fl: dropout rate %v out of [0,1)", cfg.DropoutRate)
+	}
+	for i, d := range clients {
+		if d.Len() == 0 {
+			return fmt.Errorf("fl: client %d has no data", i)
+		}
+	}
+	return nil
+}

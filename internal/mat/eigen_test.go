@@ -1,0 +1,177 @@
+package mat
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := NewDense(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	vals, _ := SymEigen(a, false)
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-10 {
+			t.Fatalf("eigenvalues = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewDenseData(2, 2, []float64{2, 1, 1, 2})
+	vals, vecs := SymEigen(a, true)
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Fatalf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// Check A v = λ v for each eigenvector column.
+	for j := 0; j < 2; j++ {
+		for i := 0; i < 2; i++ {
+			av := a.At(i, 0)*vecs.At(0, j) + a.At(i, 1)*vecs.At(1, j)
+			if math.Abs(av-vals[j]*vecs.At(i, j)) > 1e-9 {
+				t.Fatalf("A v != λ v for eigenpair %d", j)
+			}
+		}
+	}
+}
+
+func TestSymEigenTraceAndOrthogonality(t *testing.T) {
+	// Property: eigenvalues sum to the trace; eigenvectors are orthonormal.
+	f := func(seed int64) bool {
+		r := newTestRand(seed)
+		n := 2 + int(abs64(seed))%5
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := r()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		var trace float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+		}
+		vals, vecs := SymEigen(a, true)
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		if math.Abs(sum-trace) > 1e-8 {
+			return false
+		}
+		// Orthonormal columns: vecsᵀ vecs = I.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var d float64
+				for k := 0; k < n; k++ {
+					d += vecs.At(k, i) * vecs.At(k, j)
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(d-want) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingularValuesKnown(t *testing.T) {
+	// diag(3, 2) stacked with zeros has singular values 3, 2.
+	a := NewDenseData(3, 2, []float64{3, 0, 0, 2, 0, 0})
+	sv := SingularValues(a)
+	if len(sv) != 2 || math.Abs(sv[0]-3) > 1e-9 || math.Abs(sv[1]-2) > 1e-9 {
+		t.Fatalf("singular values = %v, want [3 2]", sv)
+	}
+}
+
+func TestSingularValuesRankOne(t *testing.T) {
+	// Outer product u vᵀ has one nonzero singular value ‖u‖‖v‖.
+	u := []float64{1, 2, 2}
+	v := []float64{3, 4}
+	a := NewDense(3, 2)
+	for i := range u {
+		for j := range v {
+			a.Set(i, j, u[i]*v[j])
+		}
+	}
+	sv := SingularValues(a)
+	want := Norm2(u) * Norm2(v) // 3 * 5 = 15
+	if math.Abs(sv[0]-want) > 1e-9 {
+		t.Fatalf("σ1 = %v, want %v", sv[0], want)
+	}
+	if sv[1] > 1e-9 {
+		t.Fatalf("σ2 = %v, want 0", sv[1])
+	}
+}
+
+func TestSingularValuesMatchFrobenius(t *testing.T) {
+	// Property: Σσᵢ² = ‖A‖F² and σ values are non-negative, descending.
+	f := func(seed int64) bool {
+		r := newTestRand(seed)
+		rows := 2 + int(abs64(seed))%4
+		cols := 2 + int(abs64(seed/7))%6
+		a := NewDense(rows, cols)
+		for i := range a.data {
+			a.data[i] = r()
+		}
+		sv := SingularValues(a)
+		if !sort.SliceIsSorted(sv, func(i, j int) bool { return sv[i] > sv[j] }) {
+			return false
+		}
+		var sum float64
+		for _, s := range sv {
+			if s < 0 {
+				return false
+			}
+			sum += s * s
+		}
+		fn := a.FrobeniusNorm()
+		return math.Abs(sum-fn*fn) < 1e-8*(1+fn*fn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpsRank(t *testing.T) {
+	// Rank-1 matrix: eps-rank 1 for eps below σ1, 0 at eps ≥ σ1.
+	a := NewDense(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, 1) // σ1 = 3
+		}
+	}
+	if got := EpsRank(a, 0.5); got != 1 {
+		t.Fatalf("EpsRank(0.5) = %d, want 1", got)
+	}
+	if got := EpsRank(a, 4); got != 0 {
+		t.Fatalf("EpsRank(4) = %d, want 0", got)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("Identity(3)[%d][%d] = %v", i, j, id.At(i, j))
+			}
+		}
+	}
+}

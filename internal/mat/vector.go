@@ -1,0 +1,155 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. It panics on length mismatch.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// AxpyTo stores a*x + y into dst. All slices must share a length.
+func AxpyTo(dst []float64, a float64, x, y []float64) {
+	if len(dst) != len(x) || len(x) != len(y) {
+		panic("mat: axpy length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a*x[i] + y[i]
+	}
+}
+
+// Axpy adds a*x to y in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mat: axpy length mismatch")
+	}
+	for i := range y {
+		y[i] += a * x[i]
+	}
+}
+
+// ScaleVec multiplies v by a in place.
+func ScaleVec(a float64, v []float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// AddVec adds b to a in place.
+func AddVec(a, b []float64) {
+	if len(a) != len(b) {
+		panic("mat: add length mismatch")
+	}
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// SubVec subtracts b from a in place.
+func SubVec(a, b []float64) {
+	if len(a) != len(b) {
+		panic("mat: sub length mismatch")
+	}
+	for i := range a {
+		a[i] -= b[i]
+	}
+}
+
+// CopyVec returns a copy of v.
+func CopyVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Mean returns the arithmetic mean of v; it returns 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// MeanVecs returns the element-wise mean of the given vectors.
+// It panics if vecs is empty or ragged.
+func MeanVecs(vecs [][]float64) []float64 {
+	if len(vecs) == 0 {
+		panic("mat: mean of no vectors")
+	}
+	n := len(vecs[0])
+	out := make([]float64, n)
+	for _, v := range vecs {
+		if len(v) != n {
+			panic("mat: ragged vectors in mean")
+		}
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	inv := 1 / float64(len(vecs))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// ArgMax returns the index of the maximum element of v (first one on ties);
+// it returns -1 for an empty slice.
+func ArgMax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best, bi := v[0], 0
+	for i, x := range v[1:] {
+		if x > best {
+			best, bi = x, i+1
+		}
+	}
+	return bi
+}
+
+// Softmax writes the softmax of logits into dst (which may alias logits).
+// It uses the max-subtraction trick for numerical stability.
+func Softmax(dst, logits []float64) {
+	if len(dst) != len(logits) {
+		panic("mat: softmax length mismatch")
+	}
+	mx := logits[0]
+	for _, x := range logits[1:] {
+		if x > mx {
+			mx = x
+		}
+	}
+	var sum float64
+	for i, x := range logits {
+		e := math.Exp(x - mx)
+		dst[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+}

@@ -1,0 +1,336 @@
+// Package mc implements factorization-based low-rank matrix completion:
+//
+//	minimize_{W,H}  Σ_{(t,S) observed} (U_{t,S} − w_tᵀ h_S)² + λ(‖W‖²_F + ‖H‖²_F)
+//
+// the problem (9)/(13) the paper solves to complete the utility matrix. The
+// paper uses LIBPMF; this package provides an equivalent solver from
+// scratch with two backends: alternating least squares (the default —
+// deterministic, each factor row is a small ridge regression solved by
+// Cholesky) and stochastic gradient descent (LIBPMF-style updates).
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"comfedsv/internal/mat"
+	"comfedsv/internal/rng"
+)
+
+// Entry is one observed matrix cell.
+type Entry struct {
+	Row, Col int
+	Val      float64
+}
+
+// Solver selects the optimization backend.
+type Solver int
+
+const (
+	// ALS alternates exact ridge solves for the rows of W and H.
+	ALS Solver = iota
+	// SGD performs stochastic gradient passes over the observations.
+	SGD
+)
+
+// String returns the solver name.
+func (s Solver) String() string {
+	switch s {
+	case ALS:
+		return "als"
+	case SGD:
+		return "sgd"
+	default:
+		return fmt.Sprintf("solver(%d)", int(s))
+	}
+}
+
+// Config controls a completion run.
+type Config struct {
+	// Rank is the factorization rank r (the paper sweeps r in Fig. 3 and
+	// bounds the useful range via Propositions 1–2).
+	Rank int
+	// Lambda is the L2 regularization weight λ.
+	Lambda float64
+	// MaxIter bounds the number of outer iterations (ALS sweeps or SGD epochs).
+	MaxIter int
+	// Tol stops early when the relative objective decrease falls below it.
+	Tol float64
+	// Solver selects ALS (default) or SGD.
+	Solver Solver
+	// WeightedReg scales the regularization of each factor row by its
+	// number of observations (the ALS-WR scheme of Zhou et al.). This keeps
+	// the effective shrinkage uniform when the observation pattern is very
+	// skewed — exactly the situation of the utility matrix, where the
+	// Everyone-Being-Heard round observes every column once but later
+	// rounds observe only a few columns.
+	WeightedReg bool
+	// LearningRate is the SGD step size (ignored by ALS).
+	LearningRate float64
+	// Restarts is the number of random initializations tried; the fit with
+	// the lowest objective wins. ALS is non-convex and an occasional
+	// initialization lands in a poor local minimum; a handful of restarts
+	// makes completion robust. Values below 1 mean 1.
+	Restarts int
+	// Seed drives factor initialization (and SGD order).
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used across the experiments.
+func DefaultConfig(rank int) Config {
+	return Config{
+		Rank:         rank,
+		Lambda:       0.01,
+		MaxIter:      60,
+		Tol:          1e-7,
+		Solver:       ALS,
+		WeightedReg:  true,
+		LearningRate: 0.02,
+		Restarts:     3,
+		Seed:         7,
+	}
+}
+
+// Result holds the fitted factors.
+type Result struct {
+	// W is rows×rank, H is cols×rank; the completed matrix is W Hᵀ.
+	W, H *mat.Dense
+	// Objective is the final value of the regularized objective.
+	Objective float64
+	// Iterations is the number of outer iterations performed.
+	Iterations int
+	// TrainRMSE is the root-mean-squared error on the observed entries.
+	TrainRMSE float64
+}
+
+// Predict returns the completed value of cell (row, col).
+func (r *Result) Predict(row, col int) float64 {
+	return mat.Dot(r.W.Row(row), r.H.Row(col))
+}
+
+// Completed materializes the full completed matrix W Hᵀ.
+func (r *Result) Completed() *mat.Dense {
+	return mat.MulT(r.W, r.H)
+}
+
+// Complete fits a rank-cfg.Rank factorization of a rows×cols matrix from
+// the observed entries, keeping the best of cfg.Restarts random
+// initializations.
+func Complete(obs []Entry, rows, cols int, cfg Config) (*Result, error) {
+	if err := validate(obs, rows, cols, cfg); err != nil {
+		return nil, err
+	}
+	restarts := cfg.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	var best *Result
+	for attempt := 0; attempt < restarts; attempt++ {
+		res, err := completeOnce(obs, rows, cols, cfg, cfg.Seed+int64(attempt))
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Objective < best.Objective {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func completeOnce(obs []Entry, rows, cols int, cfg Config, seed int64) (*Result, error) {
+	g := rng.New(seed)
+	scale := 1 / math.Sqrt(float64(cfg.Rank))
+	w := randomFactor(rows, cfg.Rank, scale, g)
+	h := randomFactor(cols, cfg.Rank, scale, g)
+
+	switch cfg.Solver {
+	case ALS:
+		return completeALS(obs, w, h, cfg)
+	case SGD:
+		return completeSGD(obs, w, h, cfg, g)
+	default:
+		return nil, fmt.Errorf("mc: unknown solver %v", cfg.Solver)
+	}
+}
+
+func validate(obs []Entry, rows, cols int, cfg Config) error {
+	if rows <= 0 || cols <= 0 {
+		return fmt.Errorf("mc: non-positive shape %dx%d", rows, cols)
+	}
+	if cfg.Rank <= 0 {
+		return fmt.Errorf("mc: rank must be positive, got %d", cfg.Rank)
+	}
+	if cfg.Lambda <= 0 {
+		return fmt.Errorf("mc: lambda must be positive for a well-posed problem, got %v", cfg.Lambda)
+	}
+	if cfg.MaxIter <= 0 {
+		return fmt.Errorf("mc: max iterations must be positive, got %d", cfg.MaxIter)
+	}
+	if len(obs) == 0 {
+		return errors.New("mc: no observations")
+	}
+	for _, e := range obs {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			return fmt.Errorf("mc: observation (%d,%d) outside %dx%d", e.Row, e.Col, rows, cols)
+		}
+	}
+	return nil
+}
+
+func randomFactor(n, r int, scale float64, g *rng.RNG) *mat.Dense {
+	m := mat.NewDense(n, r)
+	d := m.Data()
+	for i := range d {
+		d[i] = g.Normal(0, scale)
+	}
+	return m
+}
+
+// objective returns the full regularized objective and the observed RMSE.
+func objective(obs []Entry, w, h *mat.Dense, lambda float64) (obj, rmse float64) {
+	var sse float64
+	for _, e := range obs {
+		d := e.Val - mat.Dot(w.Row(e.Row), h.Row(e.Col))
+		sse += d * d
+	}
+	fw := w.FrobeniusNorm()
+	fh := h.FrobeniusNorm()
+	return sse + lambda*(fw*fw+fh*fh), math.Sqrt(sse / float64(len(obs)))
+}
+
+func completeALS(obs []Entry, w, h *mat.Dense, cfg Config) (*Result, error) {
+	rows, _ := w.Dims()
+	cols, _ := h.Dims()
+	byRow := make([][]Entry, rows)
+	byCol := make([][]Entry, cols)
+	for _, e := range obs {
+		byRow[e.Row] = append(byRow[e.Row], e)
+		byCol[e.Col] = append(byCol[e.Col], e)
+	}
+
+	prev := math.Inf(1)
+	iters := 0
+	for it := 0; it < cfg.MaxIter; it++ {
+		iters = it + 1
+		// Update each row of W against fixed H.
+		for t := 0; t < rows; t++ {
+			if err := ridgeUpdate(byRow[t], h, w.Row(t), effLambda(cfg, len(byRow[t])), true); err != nil {
+				return nil, err
+			}
+		}
+		// Update each row of H against fixed W.
+		for c := 0; c < cols; c++ {
+			if err := ridgeUpdate(byCol[c], w, h.Row(c), effLambda(cfg, len(byCol[c])), false); err != nil {
+				return nil, err
+			}
+		}
+		obj, _ := objective(obs, w, h, cfg.Lambda)
+		if !math.IsInf(prev, 1) && prev-obj <= cfg.Tol*math.Max(1, math.Abs(prev)) {
+			prev = obj
+			break
+		}
+		prev = obj
+	}
+	obj, rmse := objective(obs, w, h, cfg.Lambda)
+	return &Result{W: w, H: h, Objective: obj, Iterations: iters, TrainRMSE: rmse}, nil
+}
+
+// effLambda returns the regularization weight for a factor row with nobs
+// observations: constant under plain ALS, nobs-proportional under ALS-WR.
+func effLambda(cfg Config, nobs int) float64 {
+	if cfg.WeightedReg && nobs > 0 {
+		return cfg.Lambda * float64(nobs)
+	}
+	return cfg.Lambda
+}
+
+// ridgeUpdate solves the ridge sub-problem for one factor row in place.
+// If rowSide is true, entries index the opposite factor by Col, else by Row.
+// Rows with no observations are zeroed (the regularizer's minimizer).
+func ridgeUpdate(entries []Entry, opposite *mat.Dense, dst []float64, lambda float64, rowSide bool) error {
+	if len(entries) == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
+	}
+	features := make([][]float64, len(entries))
+	targets := make([]float64, len(entries))
+	for i, e := range entries {
+		if rowSide {
+			features[i] = opposite.Row(e.Col)
+		} else {
+			features[i] = opposite.Row(e.Row)
+		}
+		targets[i] = e.Val
+	}
+	sol, err := mat.RidgeSolve(features, targets, lambda)
+	if err != nil {
+		return fmt.Errorf("mc: ridge sub-problem: %w", err)
+	}
+	copy(dst, sol)
+	return nil
+}
+
+func completeSGD(obs []Entry, w, h *mat.Dense, cfg Config, g *rng.RNG) (*Result, error) {
+	order := make([]int, len(obs))
+	for i := range order {
+		order[i] = i
+	}
+	// Per-entry regularization: λ scaled so the implicit objective matches
+	// the ALS objective in expectation over an epoch.
+	lam := cfg.Lambda / float64(len(obs))
+	_ = lam
+	prev := math.Inf(1)
+	iters := 0
+	r := cfg.Rank
+	for epoch := 0; epoch < cfg.MaxIter; epoch++ {
+		iters = epoch + 1
+		lr := cfg.LearningRate / (1 + 0.01*float64(epoch))
+		g.Shuffle(order)
+		for _, idx := range order {
+			e := obs[idx]
+			wr := w.Row(e.Row)
+			hr := h.Row(e.Col)
+			err := mat.Dot(wr, hr) - e.Val
+			for k := 0; k < r; k++ {
+				gw := err*hr[k] + cfg.Lambda/float64(len(obs))*wr[k]
+				gh := err*wr[k] + cfg.Lambda/float64(len(obs))*hr[k]
+				wr[k] -= lr * gw
+				hr[k] -= lr * gh
+			}
+		}
+		obj, _ := objective(obs, w, h, cfg.Lambda)
+		if prev-obj <= cfg.Tol*math.Max(1, math.Abs(prev)) && epoch > 5 {
+			prev = obj
+			break
+		}
+		prev = obj
+	}
+	obj, rmse := objective(obs, w, h, cfg.Lambda)
+	return &Result{W: w, H: h, Objective: obj, Iterations: iters, TrainRMSE: rmse}, nil
+}
+
+// RelativeError returns ‖U − WHᵀ‖_F / ‖U‖_F against a fully known matrix u
+// (the quantity plotted in Fig. 3).
+func RelativeError(u *mat.Dense, res *Result, colOfMask func(col int) (int, bool)) float64 {
+	rows, cols := u.Dims()
+	var num, den float64
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := u.At(i, j)
+			den += v * v
+			var pred float64
+			if fc, ok := colOfMask(j); ok {
+				pred = res.Predict(i, fc)
+			}
+			d := v - pred
+			num += d * d
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num) / math.Sqrt(den)
+}

@@ -1,0 +1,266 @@
+package mc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"comfedsv/internal/mat"
+	"comfedsv/internal/rng"
+)
+
+// lowRankTruth builds an exactly rank-r matrix W Hᵀ.
+func lowRankTruth(rows, cols, rank int, seed int64) *mat.Dense {
+	g := rng.New(seed)
+	w := mat.NewDense(rows, rank)
+	h := mat.NewDense(cols, rank)
+	for _, m := range []*mat.Dense{w, h} {
+		d := m.Data()
+		for i := range d {
+			d[i] = g.Normal(0, 1)
+		}
+	}
+	return mat.MulT(w, h)
+}
+
+func sample(truth *mat.Dense, density float64, seed int64) []Entry {
+	g := rng.New(seed)
+	rows, cols := truth.Dims()
+	var obs []Entry
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if g.Float64() < density {
+				obs = append(obs, Entry{Row: i, Col: j, Val: truth.At(i, j)})
+			}
+		}
+	}
+	return obs
+}
+
+func relErr(truth *mat.Dense, res *Result) float64 {
+	rows, cols := truth.Dims()
+	var num, den float64
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			d := truth.At(i, j) - res.Predict(i, j)
+			num += d * d
+			den += truth.At(i, j) * truth.At(i, j)
+		}
+	}
+	return math.Sqrt(num / den)
+}
+
+func TestALSRecoversLowRank(t *testing.T) {
+	truth := lowRankTruth(30, 80, 3, 1)
+	obs := sample(truth, 0.4, 2)
+	cfg := DefaultConfig(3)
+	cfg.WeightedReg = false
+	cfg.Lambda = 1e-3
+	res, err := Complete(obs, 30, 80, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(truth, res); e > 0.05 {
+		t.Fatalf("ALS relative error %v, want < 0.05", e)
+	}
+}
+
+func TestSGDRecoversLowRank(t *testing.T) {
+	truth := lowRankTruth(30, 60, 2, 3)
+	obs := sample(truth, 0.5, 4)
+	cfg := DefaultConfig(2)
+	cfg.Solver = SGD
+	cfg.MaxIter = 400
+	cfg.LearningRate = 0.05
+	cfg.Lambda = 1e-3
+	res, err := Complete(obs, 30, 60, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(truth, res); e > 0.15 {
+		t.Fatalf("SGD relative error %v, want < 0.15", e)
+	}
+}
+
+func TestALSWeightedRegRecovers(t *testing.T) {
+	truth := lowRankTruth(20, 50, 2, 5)
+	obs := sample(truth, 0.5, 6)
+	cfg := DefaultConfig(2) // WeightedReg is the default
+	res, err := Complete(obs, 20, 50, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(truth, res); e > 0.1 {
+		t.Fatalf("ALS-WR relative error %v, want < 0.1", e)
+	}
+}
+
+func TestTrainRMSEDecreasesWithRank(t *testing.T) {
+	// Fitting with the true rank must beat rank 1 on the observed entries.
+	truth := lowRankTruth(20, 40, 4, 7)
+	obs := sample(truth, 0.6, 8)
+	get := func(rank int) float64 {
+		cfg := DefaultConfig(rank)
+		cfg.Lambda = 1e-4
+		cfg.WeightedReg = false
+		res, err := Complete(obs, 20, 40, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TrainRMSE
+	}
+	if r1, r4 := get(1), get(4); r4 >= r1 {
+		t.Fatalf("rank-4 RMSE %v should beat rank-1 %v on rank-4 truth", r4, r1)
+	}
+}
+
+func TestObjectiveMonotone(t *testing.T) {
+	// The final objective with more iterations never exceeds fewer.
+	truth := lowRankTruth(15, 30, 2, 9)
+	obs := sample(truth, 0.5, 10)
+	run := func(iters int) float64 {
+		cfg := DefaultConfig(2)
+		cfg.MaxIter = iters
+		cfg.Tol = 0 // force exactly iters sweeps
+		res, err := Complete(obs, 15, 30, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Objective
+	}
+	if o5, o20 := run(5), run(20); o20 > o5+1e-9 {
+		t.Fatalf("objective increased with iterations: %v → %v", o5, o20)
+	}
+}
+
+func TestUnobservedRowZeroed(t *testing.T) {
+	// A row with no observations must predict 0 everywhere (plain ALS).
+	obs := []Entry{{Row: 0, Col: 0, Val: 1}, {Row: 0, Col: 1, Val: 2}}
+	cfg := DefaultConfig(2)
+	res, err := Complete(obs, 3, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if p := res.Predict(2, j); p != 0 {
+			t.Fatalf("unobserved row predicted %v, want 0", p)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	obs := []Entry{{Row: 0, Col: 0, Val: 1}}
+	cases := []struct {
+		name string
+		obs  []Entry
+		rows int
+		cols int
+		mut  func(*Config)
+	}{
+		{"no observations", nil, 2, 2, nil},
+		{"zero rank", obs, 2, 2, func(c *Config) { c.Rank = 0 }},
+		{"zero lambda", obs, 2, 2, func(c *Config) { c.Lambda = 0 }},
+		{"zero iters", obs, 2, 2, func(c *Config) { c.MaxIter = 0 }},
+		{"bad shape", obs, 0, 2, nil},
+		{"out of range", []Entry{{Row: 5, Col: 0, Val: 1}}, 2, 2, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(2)
+			if tc.mut != nil {
+				tc.mut(&cfg)
+			}
+			if _, err := Complete(tc.obs, tc.rows, tc.cols, cfg); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestUnknownSolverRejected(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Solver = Solver(99)
+	if _, err := Complete([]Entry{{Row: 0, Col: 0, Val: 1}}, 1, 1, cfg); err == nil {
+		t.Fatal("expected unknown-solver error")
+	}
+}
+
+func TestSolverString(t *testing.T) {
+	if ALS.String() != "als" || SGD.String() != "sgd" {
+		t.Fatal("solver names wrong")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	truth := lowRankTruth(10, 20, 2, 11)
+	obs := sample(truth, 0.5, 12)
+	cfg := DefaultConfig(2)
+	a, err := Complete(obs, 10, 20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Complete(obs, 10, 20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(a.W, b.W, 0) || !mat.Equal(a.H, b.H, 0) {
+		t.Fatal("completion must be deterministic in the seed")
+	}
+}
+
+func TestCompletedMatchesPredict(t *testing.T) {
+	truth := lowRankTruth(8, 9, 2, 13)
+	obs := sample(truth, 0.7, 14)
+	res, err := Complete(obs, 8, 9, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Completed()
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 9; j++ {
+			if math.Abs(c.At(i, j)-res.Predict(i, j)) > 1e-12 {
+				t.Fatal("Completed() and Predict() disagree")
+			}
+		}
+	}
+}
+
+func TestRecoveryProperty(t *testing.T) {
+	// Property: for random rank-2 matrices with 70% density, ALS achieves
+	// substantial recovery. The bound is loose because ALS is non-convex
+	// and an occasional seed lands in a worse local minimum.
+	f := func(seed int64) bool {
+		truth := lowRankTruth(12, 24, 2, seed)
+		obs := sample(truth, 0.7, seed+1)
+		if len(obs) < 100 {
+			return true // too few observations sampled; skip
+		}
+		cfg := DefaultConfig(2)
+		cfg.Lambda = 1e-3
+		cfg.WeightedReg = false
+		res, err := Complete(obs, 12, 24, cfg)
+		if err != nil {
+			return false
+		}
+		return relErr(truth, res) < 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeErrorHelper(t *testing.T) {
+	truth := mat.NewDenseData(1, 2, []float64{3, 4})
+	res := &Result{W: mat.NewDenseData(1, 1, []float64{1}), H: mat.NewDenseData(1, 1, []float64{3})}
+	// Column 0 maps to factor column 0; column 1 unmapped (predicts 0).
+	got := RelativeError(truth, res, func(col int) (int, bool) {
+		if col == 0 {
+			return 0, true
+		}
+		return 0, false
+	})
+	// Error: (3-3)² + (4-0)² = 16; norm² = 25 → 4/5.
+	if math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("RelativeError = %v, want 0.8", got)
+	}
+}

@@ -1,0 +1,116 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"comfedsv/internal/dataset"
+	"comfedsv/internal/mat"
+	"comfedsv/internal/rng"
+)
+
+// LogisticRegression is multinomial (softmax) logistic regression with L2
+// regularization. With L2 > 0 its loss is strongly convex, Lipschitz on
+// bounded domains and smooth — the function class for which Proposition 2
+// of the paper guarantees an O(log T / ε) ε-rank of the utility matrix.
+type LogisticRegression struct {
+	Dim     int     // feature dimension
+	Classes int     // number of classes
+	L2      float64 // L2 regularization strength (λ/2 ‖w‖² added to the loss)
+}
+
+// NewLogisticRegression returns a logistic-regression model for the given
+// geometry with the default regularization used across the experiments.
+func NewLogisticRegression(dim, classes int) *LogisticRegression {
+	return &LogisticRegression{Dim: dim, Classes: classes, L2: 1e-3}
+}
+
+// NumParams returns Classes*(Dim+1): a weight row plus bias per class.
+func (m *LogisticRegression) NumParams() int { return m.Classes * (m.Dim + 1) }
+
+// InitParams returns small Gaussian weights (zero init would also work for
+// a convex model; small noise breaks ties deterministically given g).
+func (m *LogisticRegression) InitParams(g *rng.RNG) []float64 {
+	return g.NormalVec(m.NumParams(), 0, 0.01)
+}
+
+// weights returns the weight row and bias of class c as views into params.
+func (m *LogisticRegression) weights(params []float64, c int) (w []float64, bias int) {
+	base := c * (m.Dim + 1)
+	return params[base : base+m.Dim], base + m.Dim
+}
+
+func (m *LogisticRegression) logits(params, x, out []float64) {
+	for c := 0; c < m.Classes; c++ {
+		w, b := m.weights(params, c)
+		out[c] = mat.Dot(w, x) + params[b]
+	}
+}
+
+// Loss returns mean cross-entropy over d plus (L2/2)‖params‖².
+func (m *LogisticRegression) Loss(params []float64, d *dataset.Dataset) float64 {
+	m.checkDims(params, d)
+	logits := make([]float64, m.Classes)
+	probs := make([]float64, m.Classes)
+	var total float64
+	for i, x := range d.X {
+		m.logits(params, x, logits)
+		mat.Softmax(probs, logits)
+		total += -math.Log(math.Max(probs[d.Y[i]], 1e-15))
+	}
+	n := float64(d.Len())
+	if n == 0 {
+		n = 1
+	}
+	reg := 0.5 * m.L2 * mat.Dot(params, params)
+	return total/n + reg
+}
+
+// Gradient returns the gradient of Loss at params.
+func (m *LogisticRegression) Gradient(params []float64, d *dataset.Dataset) []float64 {
+	m.checkDims(params, d)
+	grad := make([]float64, m.NumParams())
+	logits := make([]float64, m.Classes)
+	probs := make([]float64, m.Classes)
+	for i, x := range d.X {
+		m.logits(params, x, logits)
+		mat.Softmax(probs, logits)
+		for c := 0; c < m.Classes; c++ {
+			delta := probs[c]
+			if c == d.Y[i] {
+				delta -= 1
+			}
+			base := c * (m.Dim + 1)
+			gw := grad[base : base+m.Dim]
+			for j, xj := range x {
+				gw[j] += delta * xj
+			}
+			grad[base+m.Dim] += delta
+		}
+	}
+	n := float64(d.Len())
+	if n == 0 {
+		n = 1
+	}
+	inv := 1 / n
+	for i := range grad {
+		grad[i] = grad[i]*inv + m.L2*params[i]
+	}
+	return grad
+}
+
+// Predict returns the argmax class of x.
+func (m *LogisticRegression) Predict(params []float64, x []float64) int {
+	logits := make([]float64, m.Classes)
+	m.logits(params, x, logits)
+	return mat.ArgMax(logits)
+}
+
+func (m *LogisticRegression) checkDims(params []float64, d *dataset.Dataset) {
+	if len(params) != m.NumParams() {
+		panic(fmt.Sprintf("model: logreg params %d, want %d", len(params), m.NumParams()))
+	}
+	if d.Len() > 0 && d.Dim() != m.Dim {
+		panic(fmt.Sprintf("model: logreg dim %d, dataset dim %d", m.Dim, d.Dim()))
+	}
+}

@@ -1,0 +1,203 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"comfedsv/internal/dataset"
+	"comfedsv/internal/mat"
+	"comfedsv/internal/rng"
+)
+
+// gradCheck verifies the analytic gradient against central finite
+// differences at a handful of coordinates.
+func gradCheck(t *testing.T, m Model, d *dataset.Dataset, seed int64) {
+	t.Helper()
+	g := rng.New(seed)
+	p := m.InitParams(g)
+	grad := m.Gradient(p, d)
+	if len(grad) != m.NumParams() {
+		t.Fatalf("gradient length %d, want %d", len(grad), m.NumParams())
+	}
+	const eps = 1e-5
+	idxs := []int{0, 1, len(p) / 3, len(p) / 2, len(p) - 1}
+	for _, idx := range idxs {
+		orig := p[idx]
+		p[idx] = orig + eps
+		lp := m.Loss(p, d)
+		p[idx] = orig - eps
+		lm := m.Loss(p, d)
+		p[idx] = orig
+		fd := (lp - lm) / (2 * eps)
+		if math.Abs(fd-grad[idx]) > 1e-6*(1+math.Abs(fd)) {
+			t.Fatalf("gradient mismatch at %d: analytic %v, finite-diff %v", idx, grad[idx], fd)
+		}
+	}
+}
+
+func synthData(t *testing.T, n int) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultSyntheticConfig(0, 0, 11)
+	return dataset.GenerateSynthetic(cfg, []int{n})[0]
+}
+
+func imageData(t *testing.T, n int) *dataset.Dataset {
+	t.Helper()
+	return dataset.GenerateImages(dataset.MNISTLikeConfig(13), n)
+}
+
+func cifarData(t *testing.T, n int) *dataset.Dataset {
+	t.Helper()
+	return dataset.GenerateImages(dataset.CIFARLikeConfig(13), n)
+}
+
+func TestLogRegGradient(t *testing.T) {
+	gradCheck(t, NewLogisticRegression(60, 10), synthData(t, 25), 1)
+}
+
+func TestMLPGradient(t *testing.T) {
+	gradCheck(t, NewMLP(64, 8, 10), imageData(t, 25), 2)
+}
+
+func TestCNNGradient(t *testing.T) {
+	d := imageData(t, 20)
+	gradCheck(t, NewCNN(*d.Shape, 3, 10), d, 3)
+}
+
+func TestCNNGradientMultiChannel(t *testing.T) {
+	d := cifarData(t, 15)
+	gradCheck(t, NewCNN(*d.Shape, 2, 10), d, 4)
+}
+
+func TestLossDecreasesUnderGD(t *testing.T) {
+	models := []struct {
+		name string
+		m    Model
+		d    *dataset.Dataset
+	}{
+		{"logreg", NewLogisticRegression(60, 10), synthData(t, 60)},
+		{"mlp", NewMLP(64, 8, 10), imageData(t, 60)},
+		{"cnn", NewCNN(dataset.ImageShape{Height: 8, Width: 8, Channels: 1}, 3, 10), imageData(t, 60)},
+	}
+	for _, tc := range models {
+		t.Run(tc.name, func(t *testing.T) {
+			g := rng.New(5)
+			p := tc.m.InitParams(g)
+			before := tc.m.Loss(p, tc.d)
+			for i := 0; i < 30; i++ {
+				grad := tc.m.Gradient(p, tc.d)
+				mat.Axpy(-0.1, grad, p)
+			}
+			after := tc.m.Loss(p, tc.d)
+			if after >= before {
+				t.Fatalf("loss did not decrease: %v → %v", before, after)
+			}
+		})
+	}
+}
+
+func TestTrainingImprovesAccuracy(t *testing.T) {
+	d := imageData(t, 120)
+	m := NewMLP(64, 16, 10)
+	g := rng.New(6)
+	p := m.InitParams(g)
+	start := Accuracy(m, p, d)
+	for i := 0; i < 60; i++ {
+		grad := m.Gradient(p, d)
+		mat.Axpy(-0.2, grad, p)
+	}
+	end := Accuracy(m, p, d)
+	if end < start+0.3 {
+		t.Fatalf("accuracy should improve substantially: %v → %v", start, end)
+	}
+}
+
+func TestLossNonNegativeAtOptimumScale(t *testing.T) {
+	// Cross-entropy plus L2 is always positive.
+	m := NewLogisticRegression(60, 10)
+	d := synthData(t, 20)
+	p := m.InitParams(rng.New(7))
+	if l := m.Loss(p, d); l <= 0 {
+		t.Fatalf("loss %v must be positive", l)
+	}
+}
+
+func TestEmptyDatasetLossIsRegOnly(t *testing.T) {
+	m := NewLogisticRegression(4, 3)
+	p := make([]float64, m.NumParams())
+	for i := range p {
+		p[i] = 1
+	}
+	d := &dataset.Dataset{NumClasses: 3}
+	want := 0.5 * m.L2 * float64(len(p))
+	if got := m.Loss(p, d); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("empty-data loss %v, want regularizer %v", got, want)
+	}
+}
+
+func TestPredictConsistentWithLoss(t *testing.T) {
+	// After training to near-zero loss, predictions match labels.
+	d := imageData(t, 40)
+	m := NewMLP(64, 16, 10)
+	p := m.InitParams(rng.New(8))
+	for i := 0; i < 200; i++ {
+		mat.Axpy(-0.3, m.Gradient(p, d), p)
+	}
+	if acc := Accuracy(m, p, d); acc < 0.9 {
+		t.Fatalf("trained accuracy %v, want ≥ 0.9", acc)
+	}
+}
+
+func TestParamDimensionPanics(t *testing.T) {
+	m := NewLogisticRegression(4, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad parameter length")
+		}
+	}()
+	m.Loss(make([]float64, 7), &dataset.Dataset{NumClasses: 3})
+}
+
+func TestCNNTooSmallImagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for image too small to convolve")
+		}
+	}()
+	NewCNN(dataset.ImageShape{Height: 3, Width: 3, Channels: 1}, 2, 10)
+}
+
+func TestNumParams(t *testing.T) {
+	lr := NewLogisticRegression(5, 3)
+	if lr.NumParams() != 3*6 {
+		t.Fatalf("logreg params %d, want 18", lr.NumParams())
+	}
+	mlp := NewMLP(5, 4, 3)
+	if mlp.NumParams() != 4*6+3*5 {
+		t.Fatalf("mlp params %d, want %d", mlp.NumParams(), 4*6+3*5)
+	}
+	cnn := NewCNN(dataset.ImageShape{Height: 8, Width: 8, Channels: 1}, 2, 3)
+	// conv: 2*1*9 + 2 = 20; pooled: 3*3*2 = 18; dense: 3*18 + 3 = 57.
+	if cnn.NumParams() != 20+57 {
+		t.Fatalf("cnn params %d, want 77", cnn.NumParams())
+	}
+}
+
+func TestAccuracyEmptyDataset(t *testing.T) {
+	m := NewLogisticRegression(2, 2)
+	p := make([]float64, m.NumParams())
+	if got := Accuracy(m, p, &dataset.Dataset{NumClasses: 2}); got != 0 {
+		t.Fatalf("empty accuracy %v, want 0", got)
+	}
+}
+
+func TestInitParamsDeterministic(t *testing.T) {
+	m := NewMLP(10, 4, 3)
+	a := m.InitParams(rng.New(9))
+	b := m.InitParams(rng.New(9))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("InitParams must be deterministic in the seed")
+		}
+	}
+}

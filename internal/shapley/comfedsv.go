@@ -1,0 +1,224 @@
+package shapley
+
+import (
+	"fmt"
+	"math"
+
+	"comfedsv/internal/mat"
+	"comfedsv/internal/mc"
+	"comfedsv/internal/rng"
+	"comfedsv/internal/utility"
+)
+
+// GroundTruth computes the paper's "ground-truth" baseline: ComFedSV
+// evaluated on the *fully observed* utility matrix, i.e. the exact Shapley
+// value of the summed per-round utility U(S) = Σ_t U_t(S). Feasible only
+// for small N (it evaluates all 2^N−1 coalitions in every round).
+func GroundTruth(e *utility.Evaluator) []float64 {
+	n := e.Run().NumClients()
+	full := utility.FullMatrix(e)
+	_, cols := full.Dims()
+	summed := make([]float64, cols)
+	for t := range e.Run().Rounds {
+		row := full.Row(t)
+		for j, v := range row {
+			summed[j] += v
+		}
+	}
+	return Exact(n, func(mask uint64) float64 { return summed[mask] })
+}
+
+// ExactResult is the outcome of the exact (non-sampled) ComFedSV pipeline.
+type ExactResult struct {
+	// Values are the ComFedSV valuations, one per client.
+	Values []float64
+	// Completion is the fitted low-rank factorization of problem (9).
+	Completion *mc.Result
+	// Store holds the observed entries {U_{t,S} : S ⊆ I_t} fed to (9).
+	Store *utility.Store
+}
+
+// ComFedSVExact runs the paper's Definition 4 pipeline without sampling:
+// observe all subsets of the selected clients per round, complete the full
+// T×(2^N−1) utility matrix (problem 9), and take the exact Shapley value of
+// the completed, per-round-summed utility. Feasible for N ≤ ~14.
+func ComFedSVExact(e *utility.Evaluator, cfg mc.Config) (*ExactResult, error) {
+	n := e.Run().NumClients()
+	if n > 14 {
+		return nil, fmt.Errorf("shapley: exact ComFedSV over 2^%d columns is infeasible; use MonteCarlo", n)
+	}
+	t := len(e.Run().Rounds)
+	store := utility.NewStore(t, n)
+	// Register columns in mask order so column index == mask−1.
+	for mask := uint64(1); mask < 1<<uint(n); mask++ {
+		store.ColumnOf(utility.FromMask(n, mask))
+	}
+	utility.ObserveSelected(e, store)
+
+	res, err := mc.Complete(toEntries(store.Observations()), t, store.NumColumns(), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("shapley: completing utility matrix: %w", err)
+	}
+
+	// Sum the completed per-round utilities: Û(S) = Σ_t w_tᵀ h_S.
+	summed := make([]float64, 1<<uint(n))
+	for mask := uint64(1); mask < 1<<uint(n); mask++ {
+		col := int(mask) - 1
+		var s float64
+		for round := 0; round < t; round++ {
+			s += res.Predict(round, col)
+		}
+		summed[mask] = s
+	}
+	values := Exact(n, func(mask uint64) float64 { return summed[mask] })
+	return &ExactResult{Values: values, Completion: res, Store: store}, nil
+}
+
+// MonteCarloConfig parameterizes Algorithm 1.
+type MonteCarloConfig struct {
+	// Samples is the number of Monte-Carlo permutations M. Maleki et al.
+	// show M = O(N log N) suffices for bounded utilities.
+	Samples int
+	// Completion configures the reduced matrix-completion problem (13).
+	Completion mc.Config
+	// Antithetic samples permutations in reversed pairs (π, reverse π).
+	// A player early in π is late in reverse(π), so the two marginal-
+	// contribution estimates are negatively correlated and their average
+	// has lower variance — a classical Monte-Carlo variance-reduction
+	// device layered on Algorithm 1 (see BenchmarkAblationAntithetic).
+	Antithetic bool
+	// Seed drives permutation sampling.
+	Seed int64
+}
+
+// DefaultMonteCarloConfig returns M ≈ 2·N·ln(N) samples and the default
+// completion settings at the given rank.
+func DefaultMonteCarloConfig(n, rank int, seed int64) MonteCarloConfig {
+	m := int(2*float64(n)*math.Log(math.Max(float64(n), 2))) + 1
+	return MonteCarloConfig{Samples: m, Completion: mc.DefaultConfig(rank), Seed: seed}
+}
+
+// MonteCarloResult is the outcome of Algorithm 1.
+type MonteCarloResult struct {
+	// Values are the estimated ComFedSV valuations ŝ_i (Eq. 12).
+	Values []float64
+	// Completion is the fitted factorization of the reduced problem (13).
+	Completion *mc.Result
+	// Store holds the observed entries {U_{t,π_m(i)} : π_m(i) ⊆ I_t}.
+	Store *utility.Store
+	// UnobservedColumns counts permutation-prefix columns that were never
+	// observed in any round. Under Assumption 1 (full first round) this is
+	// always 0; without it the completion silently degrades — see the
+	// Everyone-Being-Heard ablation.
+	UnobservedColumns int
+}
+
+// MonteCarlo implements Algorithm 1: sample M permutations, observe the
+// utilities of permutation prefixes contained in each round's selection,
+// solve the reduced completion problem (13), and estimate ComFedSV via the
+// permutation form (12).
+func MonteCarlo(e *utility.Evaluator, cfg MonteCarloConfig) (*MonteCarloResult, error) {
+	if cfg.Samples <= 0 {
+		return nil, fmt.Errorf("shapley: non-positive Monte-Carlo sample count %d", cfg.Samples)
+	}
+	n := e.Run().NumClients()
+	t := len(e.Run().Rounds)
+	g := rng.New(cfg.Seed)
+
+	perms := make([][]int, cfg.Samples)
+	for m := range perms {
+		if cfg.Antithetic && m%2 == 1 {
+			prev := perms[m-1]
+			rev := make([]int, n)
+			for i, c := range prev {
+				rev[n-1-i] = c
+			}
+			perms[m] = rev
+			continue
+		}
+		perms[m] = g.Perm(n)
+	}
+
+	store := utility.NewStore(t, n)
+	// Register every prefix column and remember its dense index per
+	// permutation position: prefixCols[m][j] is the column of the first
+	// j+1 elements of permutation m.
+	prefixCols := make([][]int, cfg.Samples)
+	for m, perm := range perms {
+		s := utility.NewSet(n)
+		cols := make([]int, n)
+		for j, c := range perm {
+			s.Add(c)
+			cols[j] = store.ColumnOf(s)
+		}
+		prefixCols[m] = cols
+	}
+
+	// Observe prefixes contained in the round's selection. Walking the
+	// permutation in order, prefixes stop being subsets of I_t at the first
+	// unselected element.
+	for round, rd := range e.Run().Rounds {
+		selected := utility.FromMembers(n, rd.Selected)
+		for _, perm := range perms {
+			s := utility.NewSet(n)
+			for _, c := range perm {
+				if !selected.Contains(c) {
+					break
+				}
+				s.Add(c)
+				store.Observe(round, s, e.Utility(round, s))
+			}
+		}
+	}
+
+	res, err := mc.Complete(toEntries(store.Observations()), t, store.NumColumns(), cfg.Completion)
+	if err != nil {
+		return nil, fmt.Errorf("shapley: completing reduced utility matrix: %w", err)
+	}
+
+	// Count never-observed columns (diagnostic for Assumption 1).
+	observed := make([]bool, store.NumColumns())
+	for _, o := range store.Observations() {
+		observed[o.Col] = true
+	}
+	missing := 0
+	for _, ok := range observed {
+		if !ok {
+			missing++
+		}
+	}
+
+	// Estimate ŝ_i per (12): average over permutations of the summed
+	// completed marginal contributions. The empty prefix has utility 0.
+	values := make([]float64, n)
+	for m, perm := range perms {
+		cols := prefixCols[m]
+		for round := 0; round < t; round++ {
+			wt := res.W.Row(round)
+			prev := 0.0
+			for j, client := range perm {
+				cur := mat.Dot(wt, res.H.Row(cols[j]))
+				values[client] += cur - prev
+				prev = cur
+			}
+		}
+	}
+	inv := 1 / float64(cfg.Samples)
+	for i := range values {
+		values[i] *= inv
+	}
+	return &MonteCarloResult{
+		Values:            values,
+		Completion:        res,
+		Store:             store,
+		UnobservedColumns: missing,
+	}, nil
+}
+
+func toEntries(obs []utility.Observation) []mc.Entry {
+	out := make([]mc.Entry, len(obs))
+	for i, o := range obs {
+		out[i] = mc.Entry{Row: o.Row, Col: o.Col, Val: o.Val}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package shapley
+
+import (
+	"fmt"
+	"math/bits"
+
+	"comfedsv/internal/rng"
+	"comfedsv/internal/utility"
+)
+
+// FedSV computes the federated Shapley value of Wang et al. (Definition 2):
+// in every round, the exact Shapley value over the *selected* clients only;
+// unselected clients receive zero for that round; the final value is the
+// per-round sum. Exact per-round enumeration requires |I_t| ≤ 20.
+func FedSV(e *utility.Evaluator) []float64 {
+	n := e.Run().NumClients()
+	values := make([]float64, n)
+	for t, rd := range e.Run().Rounds {
+		sel := rd.Selected
+		k := len(sel)
+		if k > 20 {
+			panic(fmt.Sprintf("shapley: exact FedSV with %d selected clients is infeasible; use FedSVMonteCarlo", k))
+		}
+		bt := newBinomTable(k)
+		// u over bitmasks of positions within sel.
+		u := func(mask uint64) float64 {
+			if mask == 0 {
+				return 0
+			}
+			s := utility.NewSet(n)
+			for b := 0; b < k; b++ {
+				if mask&(1<<uint(b)) != 0 {
+					s.Add(sel[b])
+				}
+			}
+			return e.Utility(t, s)
+		}
+		full := uint64(1)<<uint(k) - 1
+		for pos, client := range sel {
+			bit := uint64(1) << uint(pos)
+			rest := full &^ bit
+			var total float64
+			for sub := uint64(0); ; sub = (sub - rest) & rest {
+				size := bits.OnesCount64(sub)
+				w := 1 / (float64(k) * bt.choose(k-1, size))
+				total += w * (u(sub|bit) - u(sub))
+				if sub == rest {
+					break
+				}
+			}
+			values[client] += total
+		}
+	}
+	return values
+}
+
+// FedSVMonteCarlo estimates FedSV with samples random permutations of the
+// selected set per round — the estimator the paper's Section VII-D costs at
+// O(T·K²·log K) utility calls. Required when |I_t| is too large for exact
+// enumeration (e.g. the 100-client noisy-label experiment).
+func FedSVMonteCarlo(e *utility.Evaluator, samples int, seed int64) []float64 {
+	if samples <= 0 {
+		panic(fmt.Sprintf("shapley: non-positive sample count %d", samples))
+	}
+	n := e.Run().NumClients()
+	g := rng.New(seed)
+	values := make([]float64, n)
+	for t, rd := range e.Run().Rounds {
+		sel := rd.Selected
+		k := len(sel)
+		inv := 1 / float64(samples)
+		for m := 0; m < samples; m++ {
+			order := g.Perm(k)
+			prefix := utility.NewSet(n)
+			prev := 0.0
+			for _, pos := range order {
+				client := sel[pos]
+				prefix.Add(client)
+				cur := e.Utility(t, prefix)
+				values[client] += inv * (cur - prev)
+				prev = cur
+			}
+		}
+	}
+	return values
+}

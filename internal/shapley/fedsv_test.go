@@ -1,0 +1,137 @@
+package shapley
+
+import (
+	"math"
+	"testing"
+
+	"comfedsv/internal/dataset"
+	"comfedsv/internal/fl"
+	"comfedsv/internal/model"
+	"comfedsv/internal/rng"
+	"comfedsv/internal/utility"
+)
+
+func testEvaluator(t *testing.T, clients, rounds, perRound int, seed int64) *utility.Evaluator {
+	t.Helper()
+	full := dataset.GenerateImages(dataset.MNISTLikeConfig(seed), clients*25+50)
+	g := rng.New(seed + 1)
+	train, test := dataset.TrainTestSplit(full, float64(50)/float64(full.Len()), g)
+	parts := dataset.PartitionIID(train, clients, g)
+	m := model.NewMLP(full.Dim(), 6, full.NumClasses)
+	cfg := fl.DefaultConfig(rounds, perRound)
+	cfg.LearningRate = 0.1
+	cfg.Seed = seed + 2
+	run, err := fl.TrainRun(cfg, m, parts, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return utility.NewEvaluator(run)
+}
+
+func TestFedSVLength(t *testing.T) {
+	e := testEvaluator(t, 5, 4, 2, 31)
+	v := FedSV(e)
+	if len(v) != 5 {
+		t.Fatalf("FedSV length %d, want 5", len(v))
+	}
+}
+
+func TestFedSVFullSelectionEqualsExactShapley(t *testing.T) {
+	// With every client selected every round, FedSV is the exact Shapley
+	// value of the per-round-summed utility (the classical SV).
+	e := testEvaluator(t, 4, 3, 4, 33)
+	v := FedSV(e)
+	gt := GroundTruth(e)
+	for i := range v {
+		if math.Abs(v[i]-gt[i]) > 1e-9 {
+			t.Fatalf("full-participation FedSV %v != ground truth %v", v, gt)
+		}
+	}
+}
+
+func TestFedSVUnselectedGetZeroPerRound(t *testing.T) {
+	// With a single round (no forced full round) and K=2 of 5, the three
+	// unselected clients must be valued exactly 0.
+	full := dataset.GenerateImages(dataset.MNISTLikeConfig(35), 175)
+	g := rng.New(36)
+	train, test := dataset.TrainTestSplit(full, 50.0/175, g)
+	parts := dataset.PartitionIID(train, 5, g)
+	m := model.NewMLP(full.Dim(), 6, full.NumClasses)
+	cfg := fl.DefaultConfig(1, 2)
+	cfg.ForceFullFirstRound = false
+	run, err := fl.TrainRun(cfg, m, parts, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := utility.NewEvaluator(run)
+	v := FedSV(e)
+	selected := map[int]bool{}
+	for _, c := range run.Rounds[0].Selected {
+		selected[c] = true
+	}
+	for i, x := range v {
+		if !selected[i] && x != 0 {
+			t.Fatalf("unselected client %d valued %v, want 0", i, x)
+		}
+	}
+}
+
+func TestFedSVPerRoundBalance(t *testing.T) {
+	// Balance within each round: Σ_{i∈I_t} s_{t,i} = U_t(I_t). Summed over
+	// rounds: Σᵢ sᵢ = Σ_t U_t(I_t).
+	e := testEvaluator(t, 5, 4, 2, 37)
+	v := FedSV(e)
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	var want float64
+	n := e.Run().NumClients()
+	for tr, rd := range e.Run().Rounds {
+		want += e.Utility(tr, utility.FromMembers(n, rd.Selected))
+	}
+	if math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("FedSV balance: Σv = %v, want %v", sum, want)
+	}
+}
+
+func TestFedSVMonteCarloApproximatesExact(t *testing.T) {
+	e := testEvaluator(t, 5, 3, 3, 39)
+	exact := FedSV(e)
+	approx := FedSVMonteCarlo(e, 400, 40)
+	for i := range exact {
+		if math.Abs(exact[i]-approx[i]) > 0.05*(1+math.Abs(exact[i])) {
+			t.Fatalf("MC FedSV %v too far from exact %v at client %d", approx, exact, i)
+		}
+	}
+}
+
+func TestFedSVMonteCarloBadSamplesPanics(t *testing.T) {
+	e := testEvaluator(t, 3, 2, 2, 41)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FedSVMonteCarlo(e, 0, 1)
+}
+
+func TestFedSVDuplicatedClientsSameRoundSameValue(t *testing.T) {
+	// When both duplicates are selected in the same round, that round's
+	// contributions must be identical (the symmetric case FedSV handles).
+	full := dataset.GenerateImages(dataset.MNISTLikeConfig(43), 150)
+	g := rng.New(44)
+	train, test := dataset.TrainTestSplit(full, 50.0/150, g)
+	parts := dataset.PartitionIID(train, 4, g)
+	parts[3] = parts[0].Clone()
+	m := model.NewMLP(full.Dim(), 6, full.NumClasses)
+	cfg := fl.DefaultConfig(1, 4) // one round, everyone selected
+	run, err := fl.TrainRun(cfg, m, parts, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := FedSV(utility.NewEvaluator(run))
+	if math.Abs(v[0]-v[3]) > 1e-9 {
+		t.Fatalf("duplicates valued %v and %v in a full round", v[0], v[3])
+	}
+}

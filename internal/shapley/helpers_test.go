@@ -1,0 +1,47 @@
+package shapley
+
+import (
+	"testing"
+
+	"comfedsv/internal/dataset"
+	"comfedsv/internal/fl"
+	"comfedsv/internal/model"
+	"comfedsv/internal/rng"
+	"comfedsv/internal/utility"
+)
+
+// flConfigNoFull returns a config with the Everyone-Being-Heard round
+// disabled, used by the Assumption-1 ablation tests.
+func flConfigNoFull() fl.Config {
+	cfg := fl.DefaultConfig(4, 2)
+	cfg.ForceFullFirstRound = false
+	cfg.LearningRate = 0.1
+	cfg.Seed = 99
+	return cfg
+}
+
+// retrain re-runs FedAvg with a new config on the same data and model as a
+// previous run.
+func retrain(cfg fl.Config, run *fl.Run) (*fl.Run, error) {
+	return fl.TrainRun(cfg, run.Model, run.Clients, run.Test)
+}
+
+// duplicatedEvaluator builds a 6-client run where client 5 holds exactly
+// client 0's data.
+func duplicatedEvaluator(t *testing.T, seed int64) *utility.Evaluator {
+	t.Helper()
+	full := dataset.GenerateImages(dataset.MNISTLikeConfig(seed), 230)
+	g := rng.New(seed + 1)
+	train, test := dataset.TrainTestSplit(full, 50.0/230, g)
+	parts := dataset.PartitionIID(train, 6, g)
+	parts[5] = parts[0].Clone()
+	m := model.NewMLP(full.Dim(), 6, full.NumClasses)
+	cfg := fl.DefaultConfig(5, 2)
+	cfg.LearningRate = 0.1
+	cfg.Seed = seed + 2
+	run, err := fl.TrainRun(cfg, m, parts, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return utility.NewEvaluator(run)
+}

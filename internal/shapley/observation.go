@@ -1,0 +1,74 @@
+package shapley
+
+import (
+	"fmt"
+	"math"
+)
+
+// ParticipationProbability returns p = m(N−m) / (N(N−1)), the probability
+// that of two fixed clients exactly client i is in a uniform size-m
+// selection out of N (Observation 1).
+func ParticipationProbability(n, m int) float64 {
+	if n < 2 || m < 0 || m > n {
+		panic(fmt.Sprintf("shapley: participation probability with n=%d m=%d", n, m))
+	}
+	return float64(m) * float64(n-m) / (float64(n) * float64(n-1))
+}
+
+// UnfairnessProbability returns P_s from Observation 1: the probability
+// that after T rounds the FedSV gap between two clients with identical data
+// is at least s·δ. Reproducing the paper's stated expression,
+//
+//	P_s = Σ_{a=s}^{T} Σ_{b=0}^{⌊(T−a)/2⌋} C(T; b, T−a−2b, a+b) p^{2b+a} (1−p)^{T−2b−a},
+//
+// evaluated in log space for numerical robustness. This is the quantity
+// plotted in Fig. 1.
+func UnfairnessProbability(t, s int, p float64) float64 {
+	if t <= 0 || s < 0 || s > t {
+		panic(fmt.Sprintf("shapley: unfairness probability with T=%d s=%d", t, s))
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("shapley: probability p=%v out of [0,1]", p))
+	}
+	var total float64
+	for a := s; a <= t; a++ {
+		for b := 0; 2*b <= t-a; b++ {
+			exp := 2*b + a
+			rest := t - 2*b - a
+			// Degenerate p values: only the all-"rest" term survives p=0;
+			// only exp=t survives p=1.
+			if p == 0 {
+				if exp == 0 {
+					total += 1
+				}
+				continue
+			}
+			if p == 1 {
+				if rest == 0 {
+					total += math.Exp(lnMultinomial(t, b, rest, a+b))
+				}
+				continue
+			}
+			lt := lnMultinomial(t, b, rest, a+b) +
+				float64(exp)*math.Log(p) +
+				float64(rest)*math.Log(1-p)
+			total += math.Exp(lt)
+		}
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total
+}
+
+// lnMultinomial returns ln( n! / (k1! k2! k3!) ) for k1+k2+k3 = n.
+func lnMultinomial(n, k1, k2, k3 int) float64 {
+	if k1+k2+k3 != n {
+		panic(fmt.Sprintf("shapley: multinomial parts %d+%d+%d != %d", k1, k2, k3, n))
+	}
+	ln, _ := math.Lgamma(float64(n + 1))
+	l1, _ := math.Lgamma(float64(k1 + 1))
+	l2, _ := math.Lgamma(float64(k2 + 1))
+	l3, _ := math.Lgamma(float64(k3 + 1))
+	return ln - l1 - l2 - l3
+}

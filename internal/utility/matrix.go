@@ -1,0 +1,176 @@
+package utility
+
+import (
+	"fmt"
+
+	"comfedsv/internal/fl"
+	"comfedsv/internal/mat"
+)
+
+// Evaluator computes per-round subset utilities U_t(S) over a completed
+// FedAvg run, memoizing results. Calls counts the number of *distinct*
+// underlying test-loss evaluations, which is the cost model the paper uses
+// in the time-complexity comparison (Section VII-D / Fig. 8).
+type Evaluator struct {
+	run   *fl.Run
+	cache map[cellKey]float64
+	calls int
+}
+
+type cellKey struct {
+	t   int
+	key string
+}
+
+// NewEvaluator wraps a completed run.
+func NewEvaluator(run *fl.Run) *Evaluator {
+	return &Evaluator{run: run, cache: make(map[cellKey]float64)}
+}
+
+// Run returns the underlying federated run.
+func (e *Evaluator) Run() *fl.Run { return e.run }
+
+// Calls returns the number of distinct utility evaluations performed.
+func (e *Evaluator) Calls() int { return e.calls }
+
+// Utility returns U_t(S). The empty coalition has utility 0 by convention.
+func (e *Evaluator) Utility(t int, s Set) float64 {
+	if s.IsEmpty() {
+		return 0
+	}
+	ck := cellKey{t: t, key: s.Key()}
+	if v, ok := e.cache[ck]; ok {
+		return v
+	}
+	v := e.run.Utility(t, s.Members())
+	e.cache[ck] = v
+	e.calls++
+	return v
+}
+
+// Observation is one observed entry of the utility matrix, with its column
+// resolved to a dense index by a Store.
+type Observation struct {
+	Row int     // training round t
+	Col int     // column index assigned by the Store
+	Val float64 // U_t(S)
+}
+
+// Store collects observed utility-matrix entries and assigns stable dense
+// column indices to subsets, producing the sparse input of the reduced
+// matrix-completion problem (13).
+type Store struct {
+	T       int
+	n       int
+	cols    map[string]int
+	colSets []Set
+	obs     []Observation
+	seen    map[cellKey]bool
+}
+
+// NewStore returns an empty store for a T-round run over n clients.
+func NewStore(t, n int) *Store {
+	return &Store{T: t, n: n, cols: make(map[string]int), seen: make(map[cellKey]bool)}
+}
+
+// ColumnOf returns the dense column index for subset s, registering it on
+// first use.
+func (st *Store) ColumnOf(s Set) int {
+	if s.Universe() != st.n {
+		panic(fmt.Sprintf("utility: subset universe %d, store universe %d", s.Universe(), st.n))
+	}
+	k := s.Key()
+	if c, ok := st.cols[k]; ok {
+		return c
+	}
+	c := len(st.colSets)
+	st.cols[k] = c
+	st.colSets = append(st.colSets, s.Clone())
+	return c
+}
+
+// HasColumn reports whether s has been registered, without registering it.
+func (st *Store) HasColumn(s Set) (int, bool) {
+	c, ok := st.cols[s.Key()]
+	return c, ok
+}
+
+// ColumnSet returns the subset of the given column index.
+func (st *Store) ColumnSet(col int) Set { return st.colSets[col] }
+
+// NumColumns returns how many distinct subsets have been registered.
+func (st *Store) NumColumns() int { return len(st.colSets) }
+
+// Observe records U_{t,S} = val. Duplicate (t,S) pairs are ignored (the
+// first value wins; the evaluator is deterministic so they are equal).
+func (st *Store) Observe(t int, s Set, val float64) {
+	if t < 0 || t >= st.T {
+		panic(fmt.Sprintf("utility: round %d out of [0,%d)", t, st.T))
+	}
+	ck := cellKey{t: t, key: s.Key()}
+	if st.seen[ck] {
+		return
+	}
+	st.seen[ck] = true
+	st.obs = append(st.obs, Observation{Row: t, Col: st.ColumnOf(s), Val: val})
+}
+
+// Observations returns the recorded entries (shared slice; do not mutate).
+func (st *Store) Observations() []Observation { return st.obs }
+
+// NumObserved returns the number of recorded entries.
+func (st *Store) NumObserved() int { return len(st.obs) }
+
+// Density returns the fraction of the T×NumColumns grid that is observed.
+func (st *Store) Density() float64 {
+	total := st.T * st.NumColumns()
+	if total == 0 {
+		return 0
+	}
+	return float64(len(st.obs)) / float64(total)
+}
+
+// FullMatrix materializes the complete utility matrix U ∈ R^{T×2^N} for a
+// small-N run (N ≤ 20), evaluating every nonempty subset in every round.
+// Column index is the subset bitmask; column 0 (empty set) is all zeros.
+// This is the ground-truth object of Example 2 / Fig. 2 and of the paper's
+// "ground-truth" baseline metric.
+func FullMatrix(e *Evaluator) *mat.Dense {
+	n := e.run.NumClients()
+	if n > 20 {
+		panic(fmt.Sprintf("utility: full matrix for %d clients is infeasible", n))
+	}
+	t := len(e.run.Rounds)
+	cols := 1 << uint(n)
+	u := mat.NewDense(t, cols)
+	for round := 0; round < t; round++ {
+		row := u.Row(round)
+		for mask := uint64(1); mask < uint64(cols); mask++ {
+			row[mask] = e.Utility(round, FromMask(n, mask))
+		}
+	}
+	return u
+}
+
+// ObserveSelected records the utilities of every subset of the selected
+// clients in every round — the "observed" region {U_{t,S} : S ⊆ I_t} that
+// the exact (non-sampled) formulation (9) uses. Only feasible for small
+// selection sizes.
+func ObserveSelected(e *Evaluator, st *Store) {
+	for t, rd := range e.run.Rounds {
+		sel := rd.Selected
+		k := len(sel)
+		if k > 20 {
+			panic(fmt.Sprintf("utility: 2^%d subsets per round is infeasible", k))
+		}
+		for mask := uint64(1); mask < 1<<uint(k); mask++ {
+			s := NewSet(e.run.NumClients())
+			for b := 0; b < k; b++ {
+				if mask&(1<<uint(b)) != 0 {
+					s.Add(sel[b])
+				}
+			}
+			st.Observe(t, s, e.Utility(t, s))
+		}
+	}
+}

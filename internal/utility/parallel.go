@@ -1,0 +1,95 @@
+package utility
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"comfedsv/internal/fl"
+	"comfedsv/internal/mat"
+)
+
+// ParallelFullMatrix materializes the complete utility matrix like
+// FullMatrix but distributes rounds across workers goroutines (0 means
+// GOMAXPROCS). Cells are independent — the run is read-only and the models
+// are pure functions of their parameters — so the result is bit-identical
+// to the serial version.
+func ParallelFullMatrix(run *fl.Run, workers int) *mat.Dense {
+	n := run.NumClients()
+	if n > 20 {
+		panic(fmt.Sprintf("utility: full matrix for %d clients is infeasible", n))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t := len(run.Rounds)
+	cols := 1 << uint(n)
+	u := mat.NewDense(t, cols)
+
+	rounds := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := range rounds {
+				row := u.Row(round)
+				members := make([]int, 0, n)
+				for mask := uint64(1); mask < uint64(cols); mask++ {
+					members = members[:0]
+					for i := 0; i < n; i++ {
+						if mask&(1<<uint(i)) != 0 {
+							members = append(members, i)
+						}
+					}
+					row[mask] = run.Utility(round, members)
+				}
+			}
+		}()
+	}
+	for round := 0; round < t; round++ {
+		rounds <- round
+	}
+	close(rounds)
+	wg.Wait()
+	return u
+}
+
+// EvaluateBatch computes the utilities of the given (round, subset) cells
+// concurrently and returns them in input order. Like ParallelFullMatrix it
+// bypasses the (single-goroutine) Evaluator cache; use it for large
+// one-shot batches where memoization would not pay off.
+func EvaluateBatch(run *fl.Run, cells []Cell, workers int) []float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]float64, len(cells))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				c := cells[i]
+				if c.Subset.IsEmpty() {
+					out[i] = 0
+					continue
+				}
+				out[i] = run.Utility(c.Round, c.Subset.Members())
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// Cell addresses one utility-matrix entry.
+type Cell struct {
+	Round  int
+	Subset Set
+}

@@ -1,0 +1,55 @@
+package utility
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParallelFullMatrixMatchesSerial(t *testing.T) {
+	run := tinyRun(t, 5, 4, 2)
+	serial := FullMatrix(NewEvaluator(run))
+	for _, workers := range []int{1, 2, 4, 0} {
+		parallel := ParallelFullMatrix(run, workers)
+		r1, c1 := serial.Dims()
+		r2, c2 := parallel.Dims()
+		if r1 != r2 || c1 != c2 {
+			t.Fatalf("shape mismatch %dx%d vs %dx%d", r1, c1, r2, c2)
+		}
+		for i := 0; i < r1; i++ {
+			for j := 0; j < c1; j++ {
+				if serial.At(i, j) != parallel.At(i, j) {
+					t.Fatalf("workers=%d: cell (%d,%d) differs: %v vs %v",
+						workers, i, j, serial.At(i, j), parallel.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluateBatch(t *testing.T) {
+	run := tinyRun(t, 4, 3, 2)
+	e := NewEvaluator(run)
+	cells := []Cell{
+		{Round: 0, Subset: FromMembers(4, []int{0})},
+		{Round: 1, Subset: FromMembers(4, []int{1, 2})},
+		{Round: 2, Subset: NewSet(4)}, // empty → 0
+		{Round: 2, Subset: FromMembers(4, []int{0, 1, 2, 3})},
+	}
+	got := EvaluateBatch(run, cells, 3)
+	if len(got) != len(cells) {
+		t.Fatalf("got %d results, want %d", len(got), len(cells))
+	}
+	for i, c := range cells {
+		want := e.Utility(c.Round, c.Subset)
+		if math.Abs(got[i]-want) > 1e-15 {
+			t.Fatalf("cell %d: %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestEvaluateBatchEmptyInput(t *testing.T) {
+	run := tinyRun(t, 3, 2, 2)
+	if got := EvaluateBatch(run, nil, 2); len(got) != 0 {
+		t.Fatalf("expected empty result, got %v", got)
+	}
+}

@@ -1,0 +1,198 @@
+// Package utility implements the paper's utility matrix U ∈ R^{T×2^N}
+// (Section VI-A): subset encoding for arbitrary client counts, a memoized
+// evaluator for the per-round subset utility U_t(S), a sparse store of
+// observed entries feeding the matrix-completion problem (9)/(13), and full
+// materialization for small N (ground truth, Fig. 2 spectra).
+package utility
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Set is a fixed-universe bitset over clients {0, …, n-1}. It is the column
+// index type of the utility matrix and supports client counts beyond 64
+// (the noisy-label experiment uses N = 100).
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// NewSet returns an empty set over a universe of n clients.
+func NewSet(n int) Set {
+	if n < 0 {
+		panic(fmt.Sprintf("utility: negative universe %d", n))
+	}
+	return Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// FromMembers returns the set over universe n containing the given members.
+func FromMembers(n int, members []int) Set {
+	s := NewSet(n)
+	for _, m := range members {
+		s.Add(m)
+	}
+	return s
+}
+
+// Universe returns the size of the universe n.
+func (s Set) Universe() int { return s.n }
+
+// Add inserts client i.
+func (s Set) Add(i int) {
+	s.checkIndex(i)
+	s.words[i/64] |= 1 << (uint(i) % 64)
+}
+
+// Remove deletes client i.
+func (s Set) Remove(i int) {
+	s.checkIndex(i)
+	s.words[i/64] &^= 1 << (uint(i) % 64)
+}
+
+// Contains reports whether client i is a member.
+func (s Set) Contains(i int) bool {
+	s.checkIndex(i)
+	return s.words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+func (s Set) checkIndex(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("utility: client %d out of universe %d", i, s.n))
+	}
+}
+
+// Len returns the cardinality |S|.
+func (s Set) Len() int {
+	total := 0
+	for _, w := range s.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// IsEmpty reports whether S = ∅.
+func (s Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Members returns the sorted member list.
+func (s Set) Members() []int {
+	out := make([]int, 0, s.Len())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &= w - 1
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	out := Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(out.words, s.words)
+	return out
+}
+
+// With returns a copy of S with client i added.
+func (s Set) With(i int) Set {
+	out := s.Clone()
+	out.Add(i)
+	return out
+}
+
+// SubsetOf reports whether every member of s is in t.
+func (s Set) SubsetOf(t Set) bool {
+	if s.n != t.n {
+		panic("utility: subset check across universes")
+	}
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain the same members of the same universe.
+func (s Set) Equal(t Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact string usable as a map key. Two sets over the same
+// universe have equal keys iff they are equal.
+func (s Set) Key() string {
+	b := make([]byte, 8*len(s.words))
+	for i, w := range s.words {
+		for j := 0; j < 8; j++ {
+			b[8*i+j] = byte(w >> (8 * uint(j)))
+		}
+	}
+	return string(b)
+}
+
+// String renders the member list, e.g. "{0,3,7}".
+func (s Set) String() string {
+	ms := s.Members()
+	out := "{"
+	for i, m := range ms {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprint(m)
+	}
+	return out + "}"
+}
+
+// Mask returns the bitmask of the set for universes of at most 64 clients.
+// It panics for larger universes.
+func (s Set) Mask() uint64 {
+	if s.n > 64 {
+		panic("utility: mask of universe larger than 64")
+	}
+	if len(s.words) == 0 {
+		return 0
+	}
+	return s.words[0]
+}
+
+// FromMask returns the set over universe n (≤64) described by mask.
+func FromMask(n int, mask uint64) Set {
+	if n > 64 {
+		panic("utility: mask universe larger than 64")
+	}
+	s := NewSet(n)
+	if len(s.words) > 0 {
+		s.words[0] = mask
+	}
+	if n < 64 && mask>>uint(n) != 0 {
+		panic(fmt.Sprintf("utility: mask %#x exceeds universe %d", mask, n))
+	}
+	return s
+}
+
+// FullSet returns {0, …, n-1}.
+func FullSet(n int) Set {
+	s := NewSet(n)
+	for i := 0; i < n; i++ {
+		s.Add(i)
+	}
+	return s
+}

@@ -1,0 +1,160 @@
+package vfl
+
+import (
+	"math"
+	"testing"
+
+	"comfedsv/internal/metrics"
+	"comfedsv/internal/rng"
+)
+
+func testProblem(t *testing.T, seed int64) (*Problem, SyntheticConfig) {
+	t.Helper()
+	cfg := DefaultSyntheticConfig(seed)
+	cfg.TrainN = 150
+	cfg.TestN = 80
+	p := GenerateSynthetic(cfg)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p, cfg
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Problem)
+	}{
+		{"no parties", func(p *Problem) { p.Parties = nil }},
+		{"one class", func(p *Problem) { p.NumClasses = 1 }},
+		{"train rows mismatch", func(p *Problem) { p.Parties[0].Train = p.Parties[0].Train[:3] }},
+		{"test rows mismatch", func(p *Problem) { p.Parties[1].Test = p.Parties[1].Test[:3] }},
+		{"bad train label", func(p *Problem) { p.TrainY[0] = 99 }},
+		{"bad test label", func(p *Problem) { p.TestY[0] = -1 }},
+		{"ragged block", func(p *Problem) { p.Parties[0].Train[2] = []float64{1} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, _ := testProblem(t, 1)
+			tc.mut(q)
+			if err := q.Validate(); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	p, _ := testProblem(t, 2)
+	g := rng.New(3)
+	m := NewModel(p, g)
+	before := m.Loss(p, nil)
+	for i := 0; i < 30; i++ {
+		m.Step(p, 0.5)
+	}
+	after := m.Loss(p, nil)
+	if after >= before {
+		t.Fatalf("vertical training did not reduce loss: %v → %v", before, after)
+	}
+	if after > 1.0 {
+		t.Fatalf("final loss %v too high — split model broken", after)
+	}
+}
+
+func TestRestrictedLossUsesOnlyActiveBlocks(t *testing.T) {
+	p, _ := testProblem(t, 4)
+	g := rng.New(5)
+	m := NewModel(p, g)
+	for i := 0; i < 20; i++ {
+		m.Step(p, 0.5)
+	}
+	// Zeroing an inactive party's block must not change the restricted loss.
+	active := []bool{true, true, false, false}
+	before := m.Loss(p, active)
+	for j := range m.Blocks[2] {
+		m.Blocks[2][j] = 99
+	}
+	after := m.Loss(p, active)
+	if math.Abs(before-after) > 1e-12 {
+		t.Fatal("inactive blocks must not affect the restricted loss")
+	}
+}
+
+func TestValueRanksInformativeParties(t *testing.T) {
+	p, cfg := testProblem(t, 6)
+	vcfg := DefaultConfig(12, 2)
+	rep, err := Value(p, vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.FedSV) != 4 || len(rep.ComFedSV) != 4 {
+		t.Fatalf("valuation lengths %d/%d", len(rep.FedSV), len(rep.ComFedSV))
+	}
+	// ComFedSV should rank the fully informative party above the pure-noise
+	// one, and correlate positively with the signal profile.
+	if rep.ComFedSV[0] <= rep.ComFedSV[3] {
+		t.Fatalf("informative party valued %v, noise party %v", rep.ComFedSV[0], rep.ComFedSV[3])
+	}
+	if rho := metrics.Spearman(rep.ComFedSV, cfg.SignalRanking()); rho <= 0 {
+		t.Fatalf("ComFedSV anti-correlates with the signal profile: %v", rho)
+	}
+}
+
+func TestValueMatchesGroundTruthUnderFullObservation(t *testing.T) {
+	p, _ := testProblem(t, 7)
+	vcfg := DefaultConfig(8, 4) // every party refreshed every round
+	rep, err := Value(p, vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := GroundTruthShapley(p, vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gt {
+		if math.Abs(rep.FedSV[i]-gt[i]) > 1e-9 {
+			t.Fatalf("full observation FedSV %v != ground truth %v", rep.FedSV, gt)
+		}
+	}
+}
+
+func TestValueValidation(t *testing.T) {
+	p, _ := testProblem(t, 8)
+	bad := DefaultConfig(0, 2)
+	if _, err := Value(p, bad); err == nil {
+		t.Fatal("expected error for zero rounds")
+	}
+	bad = DefaultConfig(3, 9)
+	if _, err := Value(p, bad); err == nil {
+		t.Fatal("expected error for too many parties per round")
+	}
+}
+
+func TestValueDeterministic(t *testing.T) {
+	p, _ := testProblem(t, 9)
+	cfg := DefaultConfig(6, 2)
+	a, err := Value(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Value(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.ComFedSV {
+		if a.ComFedSV[i] != b.ComFedSV[i] {
+			t.Fatal("vertical valuation must be deterministic")
+		}
+	}
+}
+
+func TestModelCloneIndependent(t *testing.T) {
+	p, _ := testProblem(t, 10)
+	m := NewModel(p, rng.New(11))
+	c := m.Clone()
+	c.Blocks[0][0] = 42
+	c.Bias[0] = 42
+	if m.Blocks[0][0] == 42 || m.Bias[0] == 42 {
+		t.Fatal("Clone must not share storage")
+	}
+}
