@@ -1,0 +1,90 @@
+// Command comfedsvd serves ComFedSV data valuation as a long-running HTTP
+// daemon: clients POST valuation jobs (client datasets + options) to
+// /v1/jobs, poll status and progress, and fetch the finished FedSV /
+// ComFedSV report. Jobs run asynchronously on a bounded worker pool;
+// finished reports are optionally persisted to disk so they survive
+// restarts. See internal/api for the route table and README.md for curl
+// examples.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"comfedsv/internal/api"
+	"comfedsv/internal/persist"
+	"comfedsv/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "valuation worker goroutines (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "max queued jobs before submissions are rejected")
+		storeDir = flag.String("store", "", "directory for persisted job reports (empty = in-memory only)")
+		timeout  = flag.Duration("drain", 30*time.Second, "max time to drain running jobs on shutdown")
+	)
+	flag.Parse()
+
+	cfg := service.Config{Workers: *workers, QueueDepth: *queue}
+	if *storeDir != "" {
+		store, err := persist.NewJobStore(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "comfedsvd:", err)
+			os.Exit(2)
+		}
+		cfg.Store = store
+	}
+	mgr, err := service.NewManager(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "comfedsvd:", err)
+		os.Exit(2)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api.NewServer(mgr).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Bound the whole request read: without it a client trickling a
+		// large job body holds a connection and goroutine open forever.
+		ReadTimeout: 5 * time.Minute,
+		IdleTimeout: 2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("comfedsvd: listening on %s (workers=%d queue=%d store=%q)",
+		*addr, mgr.Workers(), *queue, *storeDir)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("comfedsvd: server: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+
+	log.Printf("comfedsvd: shutting down (draining up to %v)", *timeout)
+	// Separate budgets: a stalled HTTP client must not eat into the time
+	// promised to running jobs by -drain.
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := srv.Shutdown(httpCtx); err != nil {
+		log.Printf("comfedsvd: http shutdown: %v", err)
+	}
+	cancelHTTP()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := mgr.Shutdown(drainCtx); err != nil {
+		log.Printf("comfedsvd: job drain: %v (queued and running jobs were aborted)", err)
+	}
+	log.Print("comfedsvd: bye")
+}

@@ -16,6 +16,7 @@
 package comfedsv
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -67,7 +68,31 @@ type Options struct {
 	MonteCarloSamples int
 	// Seed makes the run deterministic.
 	Seed int64
+	// OnProgress, if non-nil, receives pipeline progress updates. It is
+	// called from the goroutine running the valuation and must be cheap;
+	// it does not affect the computed values.
+	OnProgress func(Progress) `json:"-"`
 }
+
+// Progress describes how far a valuation run has advanced. During the
+// StageTrain stage Done counts completed FedAvg rounds out of Total; the
+// valuation stages report Done = 0 on entry and Done = Total = 1 when
+// complete.
+type Progress struct {
+	// Stage is one of StageTrain, StageFedSV, StageComFedSV.
+	Stage string `json:"stage"`
+	// Done is the number of completed units within the stage.
+	Done int `json:"done"`
+	// Total is the number of units in the stage.
+	Total int `json:"total"`
+}
+
+// Valuation pipeline stages reported through Options.OnProgress.
+const (
+	StageTrain    = "train"
+	StageFedSV    = "fedsv"
+	StageComFedSV = "comfedsv"
+)
 
 // DefaultOptions returns a configuration suitable for tens of clients.
 func DefaultOptions(numClasses int) Options {
@@ -83,29 +108,40 @@ func DefaultOptions(numClasses int) Options {
 	}
 }
 
-// Report is the outcome of a valuation run.
+// Report is the outcome of a valuation run. The JSON encoding is the wire
+// and on-disk format used by the comfedsvd service.
 type Report struct {
 	// FedSV holds the federated Shapley values (Wang et al., Definition 2).
-	FedSV []float64
+	FedSV []float64 `json:"fedsv"`
 	// ComFedSV holds the completed federated Shapley values (Definition 4).
-	ComFedSV []float64
+	ComFedSV []float64 `json:"comfedsv"`
 	// FinalTestLoss is the test loss of the final global model.
-	FinalTestLoss float64
+	FinalTestLoss float64 `json:"final_test_loss"`
 	// FinalAccuracy is the test accuracy of the final global model.
-	FinalAccuracy float64
+	FinalAccuracy float64 `json:"final_accuracy"`
 	// ObservedDensity is the fraction of utility-matrix cells observed
 	// before completion.
-	ObservedDensity float64
+	ObservedDensity float64 `json:"observed_density"`
 	// CompletionRMSE is the observed-entry RMSE of the fitted factorization.
-	CompletionRMSE float64
+	CompletionRMSE float64 `json:"completion_rmse"`
 	// UtilityCalls counts the distinct test-loss evaluations performed.
-	UtilityCalls int
+	UtilityCalls int `json:"utility_calls"`
 }
 
 // Value trains a federated model on the clients' data and values every
 // client with both FedSV and ComFedSV. The test client holds the central
 // server's held-out evaluation data D_c.
 func Value(clients []Client, test Client, opts Options) (*Report, error) {
+	return ValueCtx(context.Background(), clients, test, opts)
+}
+
+// ValueCtx is Value with cooperative cancellation: the context is checked
+// at every FedAvg round boundary, at every valuation round/permutation
+// boundary, and between pipeline stages, and a cancelled call returns
+// ctx.Err(). A context that is never cancelled yields exactly Value's
+// result. This is the entry point the comfedsvd service uses so running
+// jobs can be cancelled.
+func ValueCtx(ctx context.Context, clients []Client, test Client, opts Options) (*Report, error) {
 	if len(clients) == 0 {
 		return nil, errors.New("comfedsv: no clients")
 	}
@@ -160,9 +196,18 @@ func Value(clients []Client, test Client, opts Options) (*Report, error) {
 		ForceFullFirstRound: true,
 		Seed:                opts.Seed,
 	}
-	run, err := fl.TrainRun(flCfg, m, locals, testSet)
+	progress := func(p Progress) {
+		if opts.OnProgress != nil {
+			opts.OnProgress(p)
+		}
+	}
+	flCfg.Progress = func(done, total int) {
+		progress(Progress{Stage: StageTrain, Done: done, Total: total})
+	}
+	progress(Progress{Stage: StageTrain, Done: 0, Total: flCfg.Rounds})
+	run, err := fl.TrainRunCtx(ctx, flCfg, m, locals, testSet)
 	if err != nil {
-		return nil, fmt.Errorf("comfedsv: training: %w", err)
+		return nil, stageErr(ctx, "training", err)
 	}
 	eval := utility.NewEvaluator(run)
 
@@ -170,31 +215,48 @@ func Value(clients []Client, test Client, opts Options) (*Report, error) {
 		FinalTestLoss: m.Loss(run.Final, testSet),
 		FinalAccuracy: model.Accuracy(m, run.Final, testSet),
 	}
-	report.FedSV = shapley.FedSV(eval)
+	progress(Progress{Stage: StageFedSV, Done: 0, Total: 1})
+	fedsv, err := shapley.FedSVCtx(ctx, eval)
+	if err != nil {
+		return nil, stageErr(ctx, "fedsv", err)
+	}
+	report.FedSV = fedsv
+	progress(Progress{Stage: StageFedSV, Done: 1, Total: 1})
 
+	progress(Progress{Stage: StageComFedSV, Done: 0, Total: 1})
 	if opts.MonteCarloSamples > 0 {
-		res, err := shapley.MonteCarlo(eval, shapley.MonteCarloConfig{
+		res, err := shapley.MonteCarloCtx(ctx, eval, shapley.MonteCarloConfig{
 			Samples:    opts.MonteCarloSamples,
 			Completion: mc.DefaultConfig(opts.Rank),
 			Seed:       opts.Seed + 1,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("comfedsv: %w", err)
+			return nil, stageErr(ctx, "valuation", err)
 		}
 		report.ComFedSV = res.Values
 		report.ObservedDensity = res.Store.Density()
 		report.CompletionRMSE = res.Completion.TrainRMSE
 	} else {
-		res, err := shapley.ComFedSVExact(eval, mc.DefaultConfig(opts.Rank))
+		res, err := shapley.ComFedSVExactCtx(ctx, eval, mc.DefaultConfig(opts.Rank))
 		if err != nil {
-			return nil, fmt.Errorf("comfedsv: %w", err)
+			return nil, stageErr(ctx, "valuation", err)
 		}
 		report.ComFedSV = res.Values
 		report.ObservedDensity = res.Store.Density()
 		report.CompletionRMSE = res.Completion.TrainRMSE
 	}
+	progress(Progress{Stage: StageComFedSV, Done: 1, Total: 1})
 	report.UtilityCalls = eval.Calls()
 	return report, nil
+}
+
+// stageErr converts a pipeline-stage failure into the caller-visible
+// error: cancellation wins over the stage's own error.
+func stageErr(ctx context.Context, stage string, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	return fmt.Errorf("comfedsv: %s: %w", stage, err)
 }
 
 func toDataset(c Client, numClasses int) (*dataset.Dataset, error) {

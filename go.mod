@@ -1,0 +1,3 @@
+module comfedsv
+
+go 1.24

@@ -1,0 +1,264 @@
+// Package api exposes the service job engine over an HTTP JSON API — the
+// wire surface of the comfedsvd daemon:
+//
+//	POST /v1/jobs             submit a valuation job (clients + options)
+//	GET  /v1/jobs             list all jobs
+//	GET  /v1/jobs/{id}        job status and progress
+//	GET  /v1/jobs/{id}/report finished report (FedSV / ComFedSV values)
+//	POST /v1/jobs/{id}/cancel cancel a queued or running job
+//	GET  /v1/healthz          liveness plus job/worker counts
+//
+// Every response body is JSON; errors are {"error": "..."} with a
+// meaningful status code (400 malformed, 404 unknown job, 409 report not
+// ready, 503 queue full or shutting down).
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"comfedsv"
+	"comfedsv/internal/service"
+)
+
+// maxRequestBytes bounds a job submission body (feature matrices can be
+// large, but unbounded reads are a trivial DoS).
+const maxRequestBytes = 256 << 20
+
+// Server routes HTTP traffic onto a service.Manager.
+type Server struct {
+	mgr     *service.Manager
+	started time.Time
+}
+
+// NewServer wraps a manager.
+func NewServer(mgr *service.Manager) *Server {
+	return &Server{mgr: mgr, started: time.Now()}
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs", s.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.report)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.cancel)
+	mux.HandleFunc("GET /v1/healthz", s.healthz)
+	return mux
+}
+
+// clientJSON is the wire form of one data owner's local dataset.
+type clientJSON struct {
+	X [][]float64 `json:"x"`
+	Y []int       `json:"y"`
+}
+
+// optionsJSON overlays non-zero fields onto comfedsv.DefaultOptions, so
+// clients only send what they want to change. NumClasses is mandatory.
+type optionsJSON struct {
+	NumClasses        int     `json:"num_classes"`
+	Rounds            int     `json:"rounds,omitempty"`
+	ClientsPerRound   int     `json:"clients_per_round,omitempty"`
+	LearningRate      float64 `json:"learning_rate,omitempty"`
+	Model             string  `json:"model,omitempty"` // "logreg" (default) or "mlp"
+	HiddenUnits       int     `json:"hidden_units,omitempty"`
+	Rank              int     `json:"rank,omitempty"`
+	MonteCarloSamples int     `json:"monte_carlo_samples,omitempty"`
+	// Seed is a pointer so an explicit "seed": 0 is distinguishable from
+	// an absent field (0 is a valid seed the library accepts).
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+func (o optionsJSON) toOptions() (comfedsv.Options, error) {
+	opts := comfedsv.DefaultOptions(o.NumClasses)
+	if o.NumClasses < 2 {
+		return opts, fmt.Errorf("options.num_classes must be at least 2, got %d", o.NumClasses)
+	}
+	// Zero means "use the default" (the fields are omitempty); negatives
+	// are rejected rather than silently replaced by defaults.
+	for name, v := range map[string]int{
+		"rounds":              o.Rounds,
+		"clients_per_round":   o.ClientsPerRound,
+		"hidden_units":        o.HiddenUnits,
+		"rank":                o.Rank,
+		"monte_carlo_samples": o.MonteCarloSamples,
+	} {
+		if v < 0 {
+			return opts, fmt.Errorf("options.%s must not be negative, got %d", name, v)
+		}
+	}
+	if o.LearningRate < 0 {
+		return opts, fmt.Errorf("options.learning_rate must not be negative, got %v", o.LearningRate)
+	}
+	if o.Rounds > 0 {
+		opts.Rounds = o.Rounds
+	}
+	if o.ClientsPerRound > 0 {
+		opts.ClientsPerRound = o.ClientsPerRound
+	}
+	if o.LearningRate > 0 {
+		opts.LearningRate = o.LearningRate
+	}
+	switch o.Model {
+	case "", "logreg":
+		opts.Model = comfedsv.LogisticRegression
+	case "mlp":
+		opts.Model = comfedsv.MLP
+	default:
+		return opts, fmt.Errorf("unknown model %q (want \"logreg\" or \"mlp\")", o.Model)
+	}
+	if o.HiddenUnits > 0 {
+		opts.HiddenUnits = o.HiddenUnits
+	}
+	if o.Rank > 0 {
+		opts.Rank = o.Rank
+	}
+	if o.MonteCarloSamples > 0 {
+		opts.MonteCarloSamples = o.MonteCarloSamples
+	}
+	if o.Seed != nil {
+		opts.Seed = *o.Seed
+	}
+	return opts, nil
+}
+
+// jobRequest is the body of POST /v1/jobs.
+type jobRequest struct {
+	Clients []clientJSON `json:"clients"`
+	Test    clientJSON   `json:"test"`
+	Options optionsJSON  `json:"options"`
+}
+
+// submitResponse is the body of a successful POST /v1/jobs.
+type submitResponse struct {
+	ID    string        `json:"id"`
+	State service.State `json:"state"`
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, errors.New("unexpected trailing data after JSON body"))
+		return
+	}
+	if len(req.Clients) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no clients"))
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sr := service.Request{Test: toClient(req.Test), Options: opts}
+	for _, c := range req.Clients {
+		sr.Clients = append(sr.Clients, toClient(c))
+	}
+	id, err := s.mgr.Submit(sr)
+	switch {
+	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrShutdown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: id, State: service.StateQueued})
+}
+
+func toClient(c clientJSON) comfedsv.Client { return comfedsv.Client{X: c.X, Y: c.Y} }
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) report(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.mgr.Report(r.PathValue("id"))
+	switch {
+	case errors.Is(err, service.ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, service.ErrFailed):
+		// 410: the job is terminal and will never produce a report, so
+		// clients polling for non-409 stop here.
+		writeError(w, http.StatusGone, err)
+		return
+	case errors.Is(err, service.ErrNotDone):
+		writeError(w, http.StatusConflict, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.mgr.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	st, err := s.mgr.Status(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	counts := s.mgr.Counts()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"workers":        s.mgr.Workers(),
+		"jobs": map[string]int{
+			"queued":  counts[service.StateQueued],
+			"running": counts[service.StateRunning],
+			"done":    counts[service.StateDone],
+			"failed":  counts[service.StateFailed],
+		},
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Marshal before writing the header so an unencodable value (e.g. a
+	// NaN loss in a report) becomes a clean 500 instead of a truncated 200.
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		body = []byte(fmt.Sprintf(`{"error": %q}`, "encoding response: "+err.Error()))
+		code = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(body, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

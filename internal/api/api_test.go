@@ -1,0 +1,327 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"comfedsv"
+	"comfedsv/internal/service"
+)
+
+// testDaemon is comfedsvd in-process: a real Manager behind the real
+// route table, served by httptest.
+func testDaemon(t *testing.T, cfg service.Config) *httptest.Server {
+	t.Helper()
+	mgr, err := service.NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(mgr).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// tinyJob is a small deterministic submission: four separable 2-D clients,
+// two classes, exact pipeline.
+func tinyJob(seed int64) ([]byte, []comfedsv.Client, comfedsv.Client, comfedsv.Options) {
+	mk := func(off float64) comfedsv.Client {
+		var c comfedsv.Client
+		for i := 0; i < 8; i++ {
+			x := off + float64(i)*0.3
+			label := 0
+			if x > 1 {
+				label = 1
+			}
+			c.X = append(c.X, []float64{x, 1 - x})
+			c.Y = append(c.Y, label)
+		}
+		return c
+	}
+	clients := []comfedsv.Client{mk(-0.4), mk(0.1), mk(0.6), mk(1.1)}
+	test := mk(0.25)
+	opts := comfedsv.DefaultOptions(2)
+	opts.Rounds = 4
+	opts.ClientsPerRound = 2
+	opts.Seed = seed
+
+	body := map[string]any{
+		"test": map[string]any{"x": test.X, "y": test.Y},
+		"options": map[string]any{
+			"num_classes":       2,
+			"rounds":            4,
+			"clients_per_round": 2,
+			"seed":              seed,
+		},
+	}
+	var cs []map[string]any
+	for _, c := range clients {
+		cs = append(cs, map[string]any{"x": c.X, "y": c.Y})
+	}
+	body["clients"] = cs
+	raw, err := json.Marshal(body)
+	if err != nil {
+		panic(err)
+	}
+	return raw, clients, test, opts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// submitAndWait drives the full client flow: POST the job, poll status to
+// completion, return the job ID.
+func submitAndWait(t *testing.T, base string, payload []byte) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: status %d", resp.StatusCode)
+	}
+	if sub.ID == "" || sub.State != "queued" {
+		t.Fatalf("submit response %+v", sub)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var st service.Status
+		if code := getJSON(t, base+"/v1/jobs/"+sub.ID, &st); code != http.StatusOK {
+			t.Fatalf("GET status: %d", code)
+		}
+		if st.State.Terminal() {
+			if st.State != service.StateDone {
+				t.Fatalf("job ended %s: %s", st.State, st.Error)
+			}
+			return sub.ID
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("job did not finish in time")
+	return ""
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	ts := testDaemon(t, service.Config{Workers: 2})
+	payload, clients, test, opts := tinyJob(11)
+
+	id := submitAndWait(t, ts.URL, payload)
+
+	var got comfedsv.Report
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+id+"/report", &got); code != http.StatusOK {
+		t.Fatalf("GET report: %d", code)
+	}
+	want, err := comfedsv.Value(clients, test, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.FedSV, want.FedSV) {
+		t.Fatalf("FedSV over HTTP %v, direct %v", got.FedSV, want.FedSV)
+	}
+	if !reflect.DeepEqual(got.ComFedSV, want.ComFedSV) {
+		t.Fatalf("ComFedSV over HTTP %v, direct %v", got.ComFedSV, want.ComFedSV)
+	}
+	if got.UtilityCalls != want.UtilityCalls {
+		t.Fatalf("UtilityCalls over HTTP %d, direct %d", got.UtilityCalls, want.UtilityCalls)
+	}
+}
+
+func TestDaemonConcurrentJobs(t *testing.T) {
+	ts := testDaemon(t, service.Config{Workers: 4})
+	payload, clients, test, opts := tinyJob(13)
+	want, err := comfedsv.Value(clients, test, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const jobs = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := submitAndWait(t, ts.URL, payload)
+			var got comfedsv.Report
+			if code := getJSON(t, ts.URL+"/v1/jobs/"+id+"/report", &got); code != http.StatusOK {
+				errs <- fmt.Errorf("GET report: %d", code)
+				return
+			}
+			if !reflect.DeepEqual(got.ComFedSV, want.ComFedSV) {
+				errs <- fmt.Errorf("job %s: ComFedSV %v, want %v", id, got.ComFedSV, want.ComFedSV)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestDaemonValidation(t *testing.T) {
+	ts := testDaemon(t, service.Config{Workers: 1})
+
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("{not json"); code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: %d, want 400", code)
+	}
+	if code := post(`{"clients": [], "test": {"x": [], "y": []}, "options": {"num_classes": 2}}`); code != http.StatusBadRequest {
+		t.Fatalf("empty clients: %d, want 400", code)
+	}
+	if code := post(`{"clients": [{"x": [[1]], "y": [0]}], "test": {"x": [[1]], "y": [0]}, "options": {"num_classes": 2, "model": "transformer"}}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown model: %d, want 400", code)
+	}
+	if code := post(`{"bogus_field": 1}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d, want 400", code)
+	}
+	if code := post(`{"clients": [{"x": [[1]], "y": [0]}], "test": {"x": [[1]], "y": [0]}, "options": {}}`); code != http.StatusBadRequest {
+		t.Fatalf("missing num_classes: %d, want 400", code)
+	}
+	if code := post(`{"clients": [{"x": [[1]], "y": [0]}], "test": {"x": [[1]], "y": [0]}, "options": {"num_classes": 2, "rounds": -5}}`); code != http.StatusBadRequest {
+		t.Fatalf("negative rounds: %d, want 400", code)
+	}
+	if code := post(`{"clients": [{"x": [[1]], "y": [0]}], "test": {"x": [[1]], "y": [0]}, "options": {"num_classes": 2}}{"oops": 1}`); code != http.StatusBadRequest {
+		t.Fatalf("trailing data: %d, want 400", code)
+	}
+
+	if code := getJSON(t, ts.URL+"/v1/jobs/job-doesnotexist", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job status: %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/job-doesnotexist/report", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job report: %d, want 404", code)
+	}
+}
+
+func TestDaemonReportBeforeDoneAndCancel(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	ts := testDaemon(t, service.Config{
+		Workers: 1,
+		Value: func(ctx context.Context, _ []comfedsv.Client, _ comfedsv.Client, _ comfedsv.Options) (*comfedsv.Report, error) {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-release:
+				return &comfedsv.Report{FedSV: []float64{1}, ComFedSV: []float64{1}}, nil
+			}
+		},
+	})
+
+	payload, _, _, _ := tinyJob(1)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+sub.ID+"/report", nil); code != http.StatusConflict {
+		t.Fatalf("report of unfinished job: %d, want 409", code)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/jobs/"+sub.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d, want 200", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var st service.Status
+		getJSON(t, ts.URL+"/v1/jobs/"+sub.ID, &st)
+		if st.State.Terminal() {
+			if st.State != service.StateFailed {
+				t.Fatalf("cancelled job ended %s", st.State)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled job never became terminal")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+sub.ID+"/report", nil); code != http.StatusGone {
+		t.Fatalf("report of cancelled job: %d, want 410", code)
+	}
+}
+
+func TestDaemonHealthAndList(t *testing.T) {
+	ts := testDaemon(t, service.Config{Workers: 2})
+	var health struct {
+		Status  string         `json:"status"`
+		Workers int            `json:"workers"`
+		Jobs    map[string]int `json:"jobs"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if health.Status != "ok" || health.Workers != 2 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	payload, _, _, _ := tinyJob(5)
+	id := submitAndWait(t, ts.URL, payload)
+
+	var list struct {
+		Jobs []service.Status `json:"jobs"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs", &list); code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != id {
+		t.Fatalf("list = %+v, want the one submitted job", list.Jobs)
+	}
+	if code := getJSON(t, ts.URL+"/v1/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if health.Jobs["done"] != 1 {
+		t.Fatalf("healthz jobs = %v, want done=1", health.Jobs)
+	}
+}

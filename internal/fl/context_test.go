@@ -1,0 +1,69 @@
+package fl
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestTrainRunCtxCancelMidRound(t *testing.T) {
+	clients, test, m := scenario(t, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := DefaultConfig(50, 2)
+	cfg.Progress = func(done, total int) {
+		if total != 50 {
+			t.Errorf("progress total = %d, want 50", total)
+		}
+		if done == 3 {
+			cancel()
+		}
+	}
+	run, err := TrainRunCtx(ctx, cfg, m, clients, test)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if run != nil {
+		t.Fatal("cancelled run should be nil, not a partial trace")
+	}
+}
+
+func TestTrainRunCtxPreCancelled(t *testing.T) {
+	clients, test, m := scenario(t, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TrainRunCtx(ctx, DefaultConfig(5, 2), m, clients, test); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestTrainRunCtxMatchesTrainRun checks that context plumbing and the
+// progress hook leave the recorded trace bit-identical.
+func TestTrainRunCtxMatchesTrainRun(t *testing.T) {
+	clients, test, m := scenario(t, 5)
+	cfg := DefaultConfig(6, 2)
+	want, err := TrainRun(cfg, m, clients, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clients2, test2, m2 := scenario(t, 5)
+	cfg2 := DefaultConfig(6, 2)
+	var rounds []int
+	cfg2.Progress = func(done, total int) { rounds = append(rounds, done) }
+	got, err := TrainRunCtx(context.Background(), cfg2, m2, clients2, test2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rounds, []int{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("progress callbacks = %v, want 1..6", rounds)
+	}
+	if !reflect.DeepEqual(want.Final, got.Final) {
+		t.Fatal("TrainRunCtx trace diverges from TrainRun")
+	}
+	for tr := range want.Rounds {
+		if !reflect.DeepEqual(want.Rounds[tr].Locals, got.Rounds[tr].Locals) {
+			t.Fatalf("round %d locals diverge", tr)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package fl
 
 import (
+	"context"
 	"fmt"
 
 	"comfedsv/internal/dataset"
@@ -49,6 +50,11 @@ type Config struct {
 	ForceFullFirstRound bool
 	// Seed drives client selection and parameter initialization.
 	Seed int64
+	// Progress, if non-nil, is called from the training goroutine after
+	// every completed round with the number of completed rounds and the
+	// total round count. Implementations must be cheap; they run on the
+	// training hot path.
+	Progress func(done, total int)
 }
 
 // DefaultConfig mirrors the small-scale setup used throughout the paper's
@@ -117,6 +123,14 @@ func (r *Run) Utility(t int, s []int) float64 {
 // utility matrix); only the selected subset is aggregated, so the global
 // trajectory is identical to a run that skipped unselected clients.
 func TrainRun(cfg Config, m model.Model, clients []*dataset.Dataset, test *dataset.Dataset) (*Run, error) {
+	return TrainRunCtx(context.Background(), cfg, m, clients, test)
+}
+
+// TrainRunCtx is TrainRun with cooperative cancellation: the context is
+// checked at every round boundary, so a cancelled run returns ctx.Err()
+// without a partially recorded round. The trace produced under a context
+// that is never cancelled is identical to TrainRun's.
+func TrainRunCtx(ctx context.Context, cfg Config, m model.Model, clients []*dataset.Dataset, test *dataset.Dataset) (*Run, error) {
 	if err := validate(cfg, clients); err != nil {
 		return nil, err
 	}
@@ -130,6 +144,9 @@ func TrainRun(cfg Config, m model.Model, clients []*dataset.Dataset, test *datas
 	n := len(clients)
 
 	for t := 0; t < cfg.Rounds; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		lr := cfg.LearningRate
 		if cfg.LRDecay > 0 {
 			lr = cfg.LearningRate / (1 + cfg.LRDecay*float64(t))
@@ -196,6 +213,9 @@ func TrainRun(cfg Config, m model.Model, clients []*dataset.Dataset, test *datas
 		}
 		rd.Selected = reporters
 		run.Rounds = append(run.Rounds, rd)
+		if cfg.Progress != nil {
+			cfg.Progress(t+1, cfg.Rounds)
+		}
 	}
 	run.Final = mat.CopyVec(w)
 	return run, nil

@@ -1,0 +1,457 @@
+// Package service turns the one-shot comfedsv valuation pipeline into a
+// long-running job engine: a Manager owns a bounded worker pool that
+// executes submitted valuation requests asynchronously, tracks per-job
+// state and progress, supports cancellation through context.Context, and
+// mirrors finished reports into a disk-backed persist.JobStore so
+// completed work survives restarts. The HTTP layer in internal/api and the
+// comfedsvd daemon are thin shells around this package.
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"comfedsv"
+	"comfedsv/internal/persist"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job lifecycle: Submit puts a job in StateQueued; a worker moves it to
+// StateRunning; it finishes in StateDone or StateFailed (cancellation is a
+// failure with ErrCancelled).
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Request is one valuation job submission.
+type Request struct {
+	Clients []comfedsv.Client
+	Test    comfedsv.Client
+	Options comfedsv.Options
+}
+
+// Status is a point-in-time snapshot of a job, safe to retain and
+// serialize.
+type Status struct {
+	ID       string            `json:"id"`
+	State    State             `json:"state"`
+	Progress comfedsv.Progress `json:"progress"`
+	// Error is the failure reason for failed jobs. On a done job it is a
+	// non-fatal warning (the report computed but could not be persisted,
+	// so it will not survive a restart).
+	Error string `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// Errors returned by Manager methods.
+var (
+	ErrNotFound  = errors.New("service: no such job")
+	ErrNotDone   = errors.New("service: job is not done")
+	ErrFailed    = errors.New("service: job failed")
+	ErrQueueFull = errors.New("service: job queue is full")
+	ErrShutdown  = errors.New("service: manager is shut down")
+	ErrCancelled = errors.New("service: job cancelled")
+)
+
+// Config sizes and wires a Manager. The zero value is usable: GOMAXPROCS
+// workers, a 64-deep queue, no persistence.
+type Config struct {
+	// Workers is the number of concurrent valuation workers; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting to run; 0 means 64.
+	// Submissions beyond the bound fail fast with ErrQueueFull.
+	QueueDepth int
+	// Store, if non-nil, receives every finished report, and its existing
+	// reports are exposed as done jobs at startup.
+	Store *persist.JobStore
+	// Value runs one valuation. Nil means comfedsv.ValueCtx; tests and
+	// custom pipelines may substitute their own.
+	Value func(ctx context.Context, clients []comfedsv.Client, test comfedsv.Client, opts comfedsv.Options) (*comfedsv.Report, error)
+}
+
+type job struct {
+	id       string
+	req      Request
+	state    State
+	progress comfedsv.Progress
+	err      error
+	report   *comfedsv.Report
+
+	cancel context.CancelFunc // non-nil while running
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// Manager executes valuation jobs on a bounded worker pool. The pending
+// queue is a slice guarded by mu (not a channel) so that cancelling a
+// queued job frees its slot immediately and an expired Shutdown can abort
+// the backlog instead of draining it.
+type Manager struct {
+	cfg Config
+	wg  sync.WaitGroup
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signaled on enqueue, close, and abort
+	pending []*job     // FIFO of queued jobs
+	jobs    map[string]*job
+	order   []string
+	closed  bool
+	aborted bool
+}
+
+// NewManager starts a manager and its worker pool. If cfg.Store holds
+// reports from a previous process, they appear immediately as done jobs
+// whose reports are loaded lazily from disk.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Value == nil {
+		cfg.Value = comfedsv.ValueCtx
+	}
+	m := &Manager{
+		cfg:  cfg,
+		jobs: make(map[string]*job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	if cfg.Store != nil {
+		ids, err := cfg.Store.ListJobReports()
+		if err != nil {
+			return nil, fmt.Errorf("service: scanning job store: %w", err)
+		}
+		for _, id := range ids {
+			j := &job{id: id, state: StateDone}
+			// The original timestamps are gone with the old process; the
+			// report file's mtime is the best available stand-in.
+			if mtime, err := cfg.Store.ReportModTime(id); err == nil {
+				j.submitted = mtime
+				j.finished = mtime
+			}
+			m.jobs[id] = j
+			m.order = append(m.order, id)
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// Workers returns the worker-pool size.
+func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// Submit validates nothing beyond queue capacity — the pipeline itself
+// rejects malformed requests when the job runs — and returns the new job's
+// ID, or ErrQueueFull / ErrShutdown.
+func (m *Manager) Submit(req Request) (string, error) {
+	j := &job{
+		id:        newJobID(),
+		req:       req,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return "", ErrShutdown
+	}
+	if len(m.pending) >= m.cfg.QueueDepth {
+		return "", ErrQueueFull
+	}
+	m.pending = append(m.pending, j)
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.cond.Signal()
+	return j.id, nil
+}
+
+// Status returns a snapshot of the job.
+func (m *Manager) Status(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return j.snapshot(), nil
+}
+
+// List returns snapshots of every known job in submission order (jobs
+// recovered from the store come first).
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Status, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].snapshot())
+	}
+	return out
+}
+
+// Counts returns the number of jobs in each state.
+func (m *Manager) Counts() map[State]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	counts := make(map[State]int, 4)
+	for _, j := range m.jobs {
+		counts[j.state]++
+	}
+	return counts
+}
+
+// Report returns the finished report of a done job, loading it from the
+// store when the report is not resident (a job recovered from a previous
+// process). It returns ErrNotDone while the job is queued or running and
+// ErrFailed (wrapping the job's failure error) for terminally failed jobs,
+// so callers can distinguish retry-later from never.
+func (m *Manager) Report(id string) (*comfedsv.Report, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	switch {
+	case j.state == StateDone && j.report != nil:
+		rep := j.report
+		m.mu.Unlock()
+		return rep, nil
+	case j.state == StateFailed:
+		err := j.err
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %w", ErrFailed, err)
+	case j.state != StateDone:
+		m.mu.Unlock()
+		return nil, ErrNotDone
+	}
+	m.mu.Unlock()
+
+	// Done but not resident: recover from disk outside the lock.
+	if m.cfg.Store == nil {
+		return nil, fmt.Errorf("service: job %s report not resident and no store configured", id)
+	}
+	var rep comfedsv.Report
+	if err := m.cfg.Store.LoadJobReport(id, &rep); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	j.report = &rep
+	m.mu.Unlock()
+	return &rep, nil
+}
+
+// Cancel stops a job: a queued job fails immediately with ErrCancelled, a
+// running job has its context cancelled (it fails once the pipeline
+// observes the cancellation at the next round boundary). Cancelling a
+// terminal job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		m.failLocked(j, ErrCancelled)
+		for i, p := range m.pending {
+			if p == j {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				break
+			}
+		}
+	case StateRunning:
+		j.cancel()
+	}
+	return nil
+}
+
+// failLocked moves a non-terminal job to StateFailed and releases its
+// request payload (client datasets can be large; only the report matters
+// after a terminal state). Callers hold m.mu.
+func (m *Manager) failLocked(j *job, err error) {
+	j.state = StateFailed
+	j.err = err
+	j.finished = time.Now()
+	j.req = Request{}
+}
+
+// Shutdown stops accepting submissions, drains queued jobs, and waits for
+// workers to finish. If the context expires first, the remaining backlog
+// is failed with ErrCancelled, running jobs are cancelled, and Shutdown
+// returns the context's error once the pool exits.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		m.cond.Broadcast()
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		m.aborted = true
+		for _, j := range m.pending {
+			m.failLocked(j, ErrCancelled)
+		}
+		m.pending = nil
+		for _, j := range m.jobs {
+			if j.state == StateRunning {
+				j.cancel()
+			}
+		}
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for !m.closed && !m.aborted && len(m.pending) == 0 {
+			m.cond.Wait()
+		}
+		if len(m.pending) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		j := m.pending[0]
+		m.pending = m.pending[1:]
+		m.mu.Unlock()
+		m.runJob(j)
+	}
+}
+
+func (m *Manager) runJob(j *job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	m.mu.Lock()
+	if j.state != StateQueued {
+		m.mu.Unlock()
+		return
+	}
+	if m.aborted {
+		m.failLocked(j, ErrCancelled)
+		m.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	m.mu.Unlock()
+
+	rep, err := m.value(ctx, j)
+	// A persistence failure must not discard a successfully computed
+	// report: the job completes with the report resident in memory and the
+	// store error recorded as a warning on its status.
+	var persistErr error
+	if err == nil && m.cfg.Store != nil {
+		if serr := m.cfg.Store.SaveJobReport(j.id, rep); serr != nil {
+			persistErr = fmt.Errorf("service: persisting report: %w", serr)
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.cancel = nil
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			err = ErrCancelled
+		}
+		m.failLocked(j, err)
+		return
+	}
+	j.state = StateDone
+	j.report = rep
+	j.err = persistErr
+	j.finished = time.Now()
+	j.req = Request{}
+}
+
+// value runs one valuation, converting a panic in the pipeline (or in a
+// substituted Config.Value) into a job failure: one poisoned job must not
+// take down the daemon and every other job with it.
+func (m *Manager) value(ctx context.Context, j *job) (rep *comfedsv.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("service: job panicked: %v", r)
+		}
+	}()
+	opts := j.req.Options
+	prev := opts.OnProgress
+	opts.OnProgress = func(p comfedsv.Progress) {
+		m.mu.Lock()
+		j.progress = p
+		m.mu.Unlock()
+		if prev != nil {
+			prev(p)
+		}
+	}
+	return m.cfg.Value(ctx, j.req.Clients, j.req.Test, opts)
+}
+
+// snapshot must be called with m.mu held.
+func (j *job) snapshot() Status {
+	s := Status{
+		ID:          j.id,
+		State:       j.state,
+		Progress:    j.progress,
+		SubmittedAt: j.submitted,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.FinishedAt = &t
+	}
+	return s
+}
+
+func newJobID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("service: crypto/rand failed: %v", err))
+	}
+	return "job-" + hex.EncodeToString(b[:])
+}

@@ -1,6 +1,7 @@
 package shapley
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -43,6 +44,14 @@ type ExactResult struct {
 // T×(2^N−1) utility matrix (problem 9), and take the exact Shapley value of
 // the completed, per-round-summed utility. Feasible for N ≤ ~14.
 func ComFedSVExact(e *utility.Evaluator, cfg mc.Config) (*ExactResult, error) {
+	return ComFedSVExactCtx(context.Background(), e, cfg)
+}
+
+// ComFedSVExactCtx is ComFedSVExact with cooperative cancellation, checked
+// at every observation-round boundary and between pipeline steps. The
+// matrix-completion solve itself is not interruptible but is bounded by
+// cfg.MaxIter.
+func ComFedSVExactCtx(ctx context.Context, e *utility.Evaluator, cfg mc.Config) (*ExactResult, error) {
 	n := e.Run().NumClients()
 	if n > 14 {
 		return nil, fmt.Errorf("shapley: exact ComFedSV over 2^%d columns is infeasible; use MonteCarlo", n)
@@ -53,8 +62,13 @@ func ComFedSVExact(e *utility.Evaluator, cfg mc.Config) (*ExactResult, error) {
 	for mask := uint64(1); mask < 1<<uint(n); mask++ {
 		store.ColumnOf(utility.FromMask(n, mask))
 	}
-	utility.ObserveSelected(e, store)
+	if err := utility.ObserveSelectedCtx(ctx, e, store); err != nil {
+		return nil, err
+	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res, err := mc.Complete(toEntries(store.Observations()), t, store.NumColumns(), cfg)
 	if err != nil {
 		return nil, fmt.Errorf("shapley: completing utility matrix: %w", err)
@@ -118,6 +132,15 @@ type MonteCarloResult struct {
 // solve the reduced completion problem (13), and estimate ComFedSV via the
 // permutation form (12).
 func MonteCarlo(e *utility.Evaluator, cfg MonteCarloConfig) (*MonteCarloResult, error) {
+	return MonteCarloCtx(context.Background(), e, cfg)
+}
+
+// MonteCarloCtx is MonteCarlo with cooperative cancellation, checked at
+// every observation-round boundary (the utility-call hot loop), between
+// pipeline steps, and per permutation during setup and estimation. The
+// matrix-completion solve itself is not interruptible but is bounded by
+// cfg.Completion.MaxIter.
+func MonteCarloCtx(ctx context.Context, e *utility.Evaluator, cfg MonteCarloConfig) (*MonteCarloResult, error) {
 	if cfg.Samples <= 0 {
 		return nil, fmt.Errorf("shapley: non-positive Monte-Carlo sample count %d", cfg.Samples)
 	}
@@ -145,6 +168,9 @@ func MonteCarlo(e *utility.Evaluator, cfg MonteCarloConfig) (*MonteCarloResult, 
 	// j+1 elements of permutation m.
 	prefixCols := make([][]int, cfg.Samples)
 	for m, perm := range perms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s := utility.NewSet(n)
 		cols := make([]int, n)
 		for j, c := range perm {
@@ -160,6 +186,11 @@ func MonteCarlo(e *utility.Evaluator, cfg MonteCarloConfig) (*MonteCarloResult, 
 	for round, rd := range e.Run().Rounds {
 		selected := utility.FromMembers(n, rd.Selected)
 		for _, perm := range perms {
+			// Per-permutation check: a single round can cost tens of
+			// thousands of utility evaluations at large sample counts.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			s := utility.NewSet(n)
 			for _, c := range perm {
 				if !selected.Contains(c) {
@@ -171,6 +202,9 @@ func MonteCarlo(e *utility.Evaluator, cfg MonteCarloConfig) (*MonteCarloResult, 
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res, err := mc.Complete(toEntries(store.Observations()), t, store.NumColumns(), cfg.Completion)
 	if err != nil {
 		return nil, fmt.Errorf("shapley: completing reduced utility matrix: %w", err)
@@ -192,6 +226,9 @@ func MonteCarlo(e *utility.Evaluator, cfg MonteCarloConfig) (*MonteCarloResult, 
 	// completed marginal contributions. The empty prefix has utility 0.
 	values := make([]float64, n)
 	for m, perm := range perms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cols := prefixCols[m]
 		for round := 0; round < t; round++ {
 			wt := res.W.Row(round)

@@ -1,6 +1,7 @@
 package shapley
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -13,13 +14,32 @@ import (
 // unselected clients receive zero for that round; the final value is the
 // per-round sum. Exact per-round enumeration requires |I_t| ≤ 20.
 func FedSV(e *utility.Evaluator) []float64 {
+	values, err := FedSVCtx(context.Background(), e)
+	if err != nil {
+		// The background context never cancels, so this is the
+		// infeasible-selection error — panic to preserve the historical
+		// FedSV contract.
+		panic(err)
+	}
+	return values
+}
+
+// FedSVCtx is FedSV with cooperative cancellation, checked before every
+// marginal-contribution term (a round costs up to 2^|I_t| of them). Unlike
+// FedSV it returns an error instead of panicking when a round's selection
+// is too large to enumerate, so services can fail one job rather than the
+// process.
+func FedSVCtx(ctx context.Context, e *utility.Evaluator) ([]float64, error) {
 	n := e.Run().NumClients()
 	values := make([]float64, n)
 	for t, rd := range e.Run().Rounds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sel := rd.Selected
 		k := len(sel)
 		if k > 20 {
-			panic(fmt.Sprintf("shapley: exact FedSV with %d selected clients is infeasible; use FedSVMonteCarlo", k))
+			return nil, fmt.Errorf("shapley: exact FedSV with %d selected clients is infeasible; use FedSVMonteCarlo", k)
 		}
 		bt := newBinomTable(k)
 		// u over bitmasks of positions within sel.
@@ -41,6 +61,12 @@ func FedSV(e *utility.Evaluator) []float64 {
 			rest := full &^ bit
 			var total float64
 			for sub := uint64(0); ; sub = (sub - rest) & rest {
+				// Per-subset check: one round over a large selection can
+				// cost 2^k utility evaluations, far too long between
+				// round-boundary checks.
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				size := bits.OnesCount64(sub)
 				w := 1 / (float64(k) * bt.choose(k-1, size))
 				total += w * (u(sub|bit) - u(sub))
@@ -51,7 +77,7 @@ func FedSV(e *utility.Evaluator) []float64 {
 			values[client] += total
 		}
 	}
-	return values
+	return values, nil
 }
 
 // FedSVMonteCarlo estimates FedSV with samples random permutations of the

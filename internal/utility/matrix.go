@@ -1,7 +1,9 @@
 package utility
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"comfedsv/internal/fl"
 	"comfedsv/internal/mat"
@@ -11,8 +13,16 @@ import (
 // FedAvg run, memoizing results. Calls counts the number of *distinct*
 // underlying test-loss evaluations, which is the cost model the paper uses
 // in the time-complexity comparison (Section VII-D / Fig. 8).
+//
+// An Evaluator is safe for concurrent use: the memo table is guarded by a
+// mutex, so service workers can share one evaluator per run and amortize
+// test-loss calls across jobs. The underlying evaluation runs outside the
+// lock; concurrent first requests for the same cell may both evaluate it,
+// but the run is deterministic so they agree, and only one counts toward
+// Calls.
 type Evaluator struct {
 	run   *fl.Run
+	mu    sync.Mutex
 	cache map[cellKey]float64
 	calls int
 }
@@ -31,7 +41,11 @@ func NewEvaluator(run *fl.Run) *Evaluator {
 func (e *Evaluator) Run() *fl.Run { return e.run }
 
 // Calls returns the number of distinct utility evaluations performed.
-func (e *Evaluator) Calls() int { return e.calls }
+func (e *Evaluator) Calls() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.calls
+}
 
 // Utility returns U_t(S). The empty coalition has utility 0 by convention.
 func (e *Evaluator) Utility(t int, s Set) float64 {
@@ -39,10 +53,18 @@ func (e *Evaluator) Utility(t int, s Set) float64 {
 		return 0
 	}
 	ck := cellKey{t: t, key: s.Key()}
+	e.mu.Lock()
 	if v, ok := e.cache[ck]; ok {
+		e.mu.Unlock()
 		return v
 	}
+	e.mu.Unlock()
 	v := e.run.Utility(t, s.Members())
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if prev, ok := e.cache[ck]; ok {
+		return prev
+	}
 	e.cache[ck] = v
 	e.calls++
 	return v
@@ -157,13 +179,29 @@ func FullMatrix(e *Evaluator) *mat.Dense {
 // the exact (non-sampled) formulation (9) uses. Only feasible for small
 // selection sizes.
 func ObserveSelected(e *Evaluator, st *Store) {
+	if err := ObserveSelectedCtx(context.Background(), e, st); err != nil {
+		// The background context never cancels, so this is the
+		// infeasible-selection error — panic to preserve the historical
+		// ObserveSelected contract.
+		panic(err)
+	}
+}
+
+// ObserveSelectedCtx is ObserveSelected with cooperative cancellation,
+// checked before every utility evaluation (a single round costs up to
+// 2^|I_t| of them). Unlike ObserveSelected it returns an error instead of
+// panicking for infeasible selection sizes.
+func ObserveSelectedCtx(ctx context.Context, e *Evaluator, st *Store) error {
 	for t, rd := range e.run.Rounds {
 		sel := rd.Selected
 		k := len(sel)
 		if k > 20 {
-			panic(fmt.Sprintf("utility: 2^%d subsets per round is infeasible", k))
+			return fmt.Errorf("utility: 2^%d subsets per round is infeasible", k)
 		}
 		for mask := uint64(1); mask < 1<<uint(k); mask++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			s := NewSet(e.run.NumClients())
 			for b := 0; b < k; b++ {
 				if mask&(1<<uint(b)) != 0 {
@@ -173,4 +211,5 @@ func ObserveSelected(e *Evaluator, st *Store) {
 			st.Observe(t, s, e.Utility(t, s))
 		}
 	}
+	return nil
 }

@@ -57,8 +57,8 @@ func ParallelFullMatrix(run *fl.Run, workers int) *mat.Dense {
 
 // EvaluateBatch computes the utilities of the given (round, subset) cells
 // concurrently and returns them in input order. Like ParallelFullMatrix it
-// bypasses the (single-goroutine) Evaluator cache; use it for large
-// one-shot batches where memoization would not pay off.
+// bypasses the Evaluator cache entirely; use it for large one-shot batches
+// where memoization would not pay off.
 func EvaluateBatch(run *fl.Run, cells []Cell, workers int) []float64 {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

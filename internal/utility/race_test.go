@@ -1,0 +1,60 @@
+package utility
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEvaluatorConcurrent hammers one Evaluator from many goroutines over
+// an overlapping cell set; run with -race. Concurrent first evaluations of
+// a cell must agree with the serial result, and Calls must never exceed the
+// number of distinct cells.
+func TestEvaluatorConcurrent(t *testing.T) {
+	run := tinyRun(t, 5, 4, 2)
+	serial := NewEvaluator(run)
+	e := NewEvaluator(run)
+
+	type cell struct {
+		t    int
+		mask uint64
+	}
+	var cells []cell
+	for round := 0; round < 4; round++ {
+		for mask := uint64(1); mask < 1<<5; mask++ {
+			cells = append(cells, cell{round, mask})
+		}
+	}
+	want := make([]float64, len(cells))
+	for i, c := range cells {
+		want[i] = serial.Utility(c.t, FromMask(5, c.mask))
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				for i := range cells {
+					// Stagger start points so goroutines race on
+					// different cells at any instant.
+					j := (i + g*len(cells)/goroutines) % len(cells)
+					c := cells[j]
+					if got := e.Utility(c.t, FromMask(5, c.mask)); got != want[j] {
+						t.Errorf("round %d mask %#x: concurrent %v, serial %v", c.t, c.mask, got, want[j])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if e.Calls() > len(cells) {
+		t.Fatalf("Calls = %d, want at most %d distinct evaluations", e.Calls(), len(cells))
+	}
+	if e.Calls() != serial.Calls() {
+		t.Fatalf("Calls = %d, serial made %d", e.Calls(), serial.Calls())
+	}
+}
