@@ -7,6 +7,7 @@ package comfedsv
 // figures are produced by `cmd/comfedsv`.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -464,6 +465,43 @@ func BenchmarkAblationAntithetic(b *testing.B) {
 				spread = hi - lo
 			}
 			b.ReportMetric(spread, "seed-spread")
+		})
+	}
+}
+
+// --- Hot-path benchmarks (run with -benchmem; see README "Performance &
+// tuning"; the ALS-completion counterpart lives in internal/mc) ---
+
+// BenchmarkMCObservation isolates the Monte-Carlo observation stage: the
+// permutation-prefix test-loss evaluations that dominate Algorithm 1's cost
+// (Section VII-D). Each iteration starts from a cold evaluator cache so the
+// measured work is the distinct-cell evaluations, fanned out over the
+// worker pool.
+func BenchmarkMCObservation(b *testing.B) {
+	e := benchEvaluator(b, 8, 6, 3)
+	run := e.Run()
+	g := rng.New(77)
+	var cells []utility.Cell
+	for round := 0; round < 6; round++ {
+		for m := 0; m < 24; m++ {
+			perm := g.Perm(8)
+			s := utility.NewSet(8)
+			for _, c := range perm[:1+m%4] {
+				s.Add(c)
+			}
+			cells = append(cells, utility.Cell{Round: round, Subset: s})
+		}
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cold := utility.NewEvaluator(run)
+				if _, err := cold.UtilityBatchCtx(ctx, cells, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

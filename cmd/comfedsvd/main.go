@@ -27,13 +27,14 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		workers  = flag.Int("workers", 0, "valuation worker goroutines (0 = GOMAXPROCS)")
+		par      = flag.Int("parallelism", 0, "per-job CPU parallelism for jobs that don't set it (0 = fair share of GOMAXPROCS across workers)")
 		queue    = flag.Int("queue", 64, "max queued jobs before submissions are rejected")
 		storeDir = flag.String("store", "", "directory for persisted job reports (empty = in-memory only)")
 		timeout  = flag.Duration("drain", 30*time.Second, "max time to drain running jobs on shutdown")
 	)
 	flag.Parse()
 
-	cfg := service.Config{Workers: *workers, QueueDepth: *queue}
+	cfg := service.Config{Workers: *workers, QueueDepth: *queue, DefaultParallelism: *par}
 	if *storeDir != "" {
 		store, err := persist.NewJobStore(*storeDir)
 		if err != nil {
@@ -63,8 +64,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("comfedsvd: listening on %s (workers=%d queue=%d store=%q)",
-		*addr, mgr.Workers(), *queue, *storeDir)
+	log.Printf("comfedsvd: listening on %s (workers=%d parallelism=%d queue=%d store=%q)",
+		*addr, mgr.Workers(), mgr.DefaultParallelism(), *queue, *storeDir)
 
 	select {
 	case err := <-errc:

@@ -68,6 +68,12 @@ type Options struct {
 	MonteCarloSamples int
 	// Seed makes the run deterministic.
 	Seed int64
+	// Parallelism bounds the number of CPU-bound goroutines one valuation
+	// may use for its hot path — the ALS completion solves (factor rows
+	// and restarts) and the Monte-Carlo observation stage's test-loss
+	// evaluations. 0 means GOMAXPROCS. The computed values are
+	// bit-identical for every setting; only wall-clock time changes.
+	Parallelism int
 	// OnProgress, if non-nil, receives pipeline progress updates. It is
 	// called from the goroutine running the valuation and must be cheap;
 	// it does not affect the computed values.
@@ -224,11 +230,14 @@ func ValueCtx(ctx context.Context, clients []Client, test Client, opts Options) 
 	progress(Progress{Stage: StageFedSV, Done: 1, Total: 1})
 
 	progress(Progress{Stage: StageComFedSV, Done: 0, Total: 1})
+	mcCfg := mc.DefaultConfig(opts.Rank)
+	mcCfg.Workers = opts.Parallelism
 	if opts.MonteCarloSamples > 0 {
 		res, err := shapley.MonteCarloCtx(ctx, eval, shapley.MonteCarloConfig{
 			Samples:    opts.MonteCarloSamples,
-			Completion: mc.DefaultConfig(opts.Rank),
+			Completion: mcCfg,
 			Seed:       opts.Seed + 1,
+			Workers:    opts.Parallelism,
 		})
 		if err != nil {
 			return nil, stageErr(ctx, "valuation", err)
@@ -237,7 +246,7 @@ func ValueCtx(ctx context.Context, clients []Client, test Client, opts Options) 
 		report.ObservedDensity = res.Store.Density()
 		report.CompletionRMSE = res.Completion.TrainRMSE
 	} else {
-		res, err := shapley.ComFedSVExactCtx(ctx, eval, mc.DefaultConfig(opts.Rank))
+		res, err := shapley.ComFedSVExactCtx(ctx, eval, mcCfg)
 		if err != nil {
 			return nil, stageErr(ctx, "valuation", err)
 		}

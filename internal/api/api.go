@@ -68,6 +68,11 @@ type optionsJSON struct {
 	HiddenUnits       int     `json:"hidden_units,omitempty"`
 	Rank              int     `json:"rank,omitempty"`
 	MonteCarloSamples int     `json:"monte_carlo_samples,omitempty"`
+	// Parallelism is the per-job CPU budget for the valuation hot path
+	// (ALS completion and Monte-Carlo observation). 0 or absent means the
+	// daemon's default — a fair share of GOMAXPROCS across the worker
+	// pool. The computed values do not depend on it.
+	Parallelism int `json:"parallelism,omitempty"`
 	// Seed is a pointer so an explicit "seed": 0 is distinguishable from
 	// an absent field (0 is a valid seed the library accepts).
 	Seed *int64 `json:"seed,omitempty"`
@@ -86,6 +91,7 @@ func (o optionsJSON) toOptions() (comfedsv.Options, error) {
 		"hidden_units":        o.HiddenUnits,
 		"rank":                o.Rank,
 		"monte_carlo_samples": o.MonteCarloSamples,
+		"parallelism":         o.Parallelism,
 	} {
 		if v < 0 {
 			return opts, fmt.Errorf("options.%s must not be negative, got %d", name, v)
@@ -119,6 +125,9 @@ func (o optionsJSON) toOptions() (comfedsv.Options, error) {
 	}
 	if o.MonteCarloSamples > 0 {
 		opts.MonteCarloSamples = o.MonteCarloSamples
+	}
+	if o.Parallelism > 0 {
+		opts.Parallelism = o.Parallelism
 	}
 	if o.Seed != nil {
 		opts.Seed = *o.Seed

@@ -218,6 +218,9 @@ func TestDaemonValidation(t *testing.T) {
 	if code := post(`{"clients": [{"x": [[1]], "y": [0]}], "test": {"x": [[1]], "y": [0]}, "options": {"num_classes": 2, "rounds": -5}}`); code != http.StatusBadRequest {
 		t.Fatalf("negative rounds: %d, want 400", code)
 	}
+	if code := post(`{"clients": [{"x": [[1]], "y": [0]}], "test": {"x": [[1]], "y": [0]}, "options": {"num_classes": 2, "parallelism": -1}}`); code != http.StatusBadRequest {
+		t.Fatalf("negative parallelism: %d, want 400", code)
+	}
 	if code := post(`{"clients": [{"x": [[1]], "y": [0]}], "test": {"x": [[1]], "y": [0]}, "options": {"num_classes": 2}}{"oops": 1}`); code != http.StatusBadRequest {
 		t.Fatalf("trailing data: %d, want 400", code)
 	}
@@ -323,5 +326,35 @@ func TestDaemonHealthAndList(t *testing.T) {
 	}
 	if health.Jobs["done"] != 1 {
 		t.Fatalf("healthz jobs = %v, want done=1", health.Jobs)
+	}
+}
+
+// TestDaemonParallelismOption checks the parallelism knob end to end: an
+// explicit "parallelism" field reaches the pipeline's Options, and an
+// absent one picks up the daemon's configured default.
+func TestDaemonParallelismOption(t *testing.T) {
+	var mu sync.Mutex
+	var seen []int
+	cfg := service.Config{
+		Workers:            1,
+		DefaultParallelism: 3,
+		Value: func(ctx context.Context, clients []comfedsv.Client, test comfedsv.Client, opts comfedsv.Options) (*comfedsv.Report, error) {
+			mu.Lock()
+			seen = append(seen, opts.Parallelism)
+			mu.Unlock()
+			return &comfedsv.Report{FedSV: []float64{0}, ComFedSV: []float64{0}}, nil
+		},
+	}
+	ts := testDaemon(t, cfg)
+
+	explicit := `{"clients": [{"x": [[1]], "y": [0]}], "test": {"x": [[1]], "y": [0]}, "options": {"num_classes": 2, "parallelism": 2}}`
+	submitAndWait(t, ts.URL, []byte(explicit))
+	defaulted := `{"clients": [{"x": [[1]], "y": [0]}], "test": {"x": [[1]], "y": [0]}, "options": {"num_classes": 2}}`
+	submitAndWait(t, ts.URL, []byte(defaulted))
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 || seen[0] != 2 || seen[1] != 3 {
+		t.Fatalf("pipeline saw parallelism %v, want [2 3]", seen)
 	}
 }

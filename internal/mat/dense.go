@@ -220,58 +220,26 @@ var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
 
 // Cholesky computes the lower-triangular factor L with a = L Lᵀ.
 // a must be symmetric positive definite; only the lower triangle is read.
+// CholeskyInto is the allocation-free variant.
 func Cholesky(a *Dense) (*Dense, error) {
-	if a.rows != a.cols {
-		panic(fmt.Sprintf("mat: cholesky of non-square %dx%d", a.rows, a.cols))
-	}
-	n := a.rows
-	l := NewDense(n, n)
-	for j := 0; j < n; j++ {
-		d := a.At(j, j)
-		for k := 0; k < j; k++ {
-			d -= l.At(j, k) * l.At(j, k)
-		}
-		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotPositiveDefinite
-		}
-		ljj := math.Sqrt(d)
-		l.Set(j, j, ljj)
-		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
-			}
-			l.Set(i, j, s/ljj)
-		}
+	l := NewDense(a.rows, a.cols)
+	if err := CholeskyInto(l, a); err != nil {
+		return nil, err
 	}
 	return l, nil
 }
 
 // CholeskySolve solves a x = b given the Cholesky factor l of a,
-// overwriting and returning a new solution vector.
+// overwriting and returning a new solution vector. CholeskySolveInto is the
+// allocation-free variant.
 func CholeskySolve(l *Dense, b []float64) []float64 {
 	n := l.rows
 	if len(b) != n {
 		panic(fmt.Sprintf("mat: cholesky solve dimension %d != %d", len(b), n))
 	}
-	// Forward substitution: L y = b.
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		s := b[i]
-		for k := 0; k < i; k++ {
-			s -= l.At(i, k) * y[k]
-		}
-		y[i] = s / l.At(i, i)
-	}
-	// Back substitution: Lᵀ x = y.
 	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		s := y[i]
-		for k := i + 1; k < n; k++ {
-			s -= l.At(k, i) * x[k]
-		}
-		x[i] = s / l.At(i, i)
-	}
+	y := make([]float64, n)
+	CholeskySolveInto(l, b, x, y)
 	return x
 }
 
@@ -285,35 +253,15 @@ func SolveSPD(a *Dense, b []float64) ([]float64, error) {
 }
 
 // RidgeSolve solves (AᵀA + λI) x = Aᵀ b for the rows of A given as a slice
-// of feature vectors. It is the workhorse of the ALS matrix-completion
-// solver: each factor row is the ridge regression of observed entries onto
-// the opposite factor's rows.
+// of feature vectors. RidgeSolveInto is the allocation-free variant used on
+// the ALS hot path.
 func RidgeSolve(features [][]float64, targets []float64, lambda float64) ([]float64, error) {
-	if len(features) != len(targets) {
-		panic(fmt.Sprintf("mat: ridge rows %d != targets %d", len(features), len(targets)))
-	}
 	if len(features) == 0 {
-		return nil, errors.New("mat: ridge with no observations")
+		return nil, ErrRidgeNoObservations
 	}
-	r := len(features[0])
-	gram := NewDense(r, r)
-	rhs := make([]float64, r)
-	for row, f := range features {
-		if len(f) != r {
-			panic("mat: ragged feature rows")
-		}
-		t := targets[row]
-		for i := 0; i < r; i++ {
-			fi := f[i]
-			rhs[i] += fi * t
-			gi := gram.Row(i)
-			for j := 0; j < r; j++ {
-				gi[j] += fi * f[j]
-			}
-		}
+	dst := make([]float64, len(features[0]))
+	if err := RidgeSolveInto(features, targets, lambda, dst, NewRidgeScratch(len(dst))); err != nil {
+		return nil, err
 	}
-	for i := 0; i < r; i++ {
-		gram.Add(i, i, lambda)
-	}
-	return SolveSPD(gram, rhs)
+	return dst, nil
 }

@@ -1,0 +1,175 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file holds the allocation-free kernel variants behind Cholesky,
+// CholeskySolve, and RidgeSolve. The ALS matrix-completion solver calls a
+// small ridge solve once per factor row per sweep — hundreds of thousands of
+// times per completion — so these kernels accumulate the Gram matrix in
+// place, factor in place, and substitute in place, with slice-based inner
+// loops instead of bounds-checked At/Set. The allocating wrappers in
+// dense.go delegate here; both produce bit-identical results (the summation
+// order is unchanged).
+
+// CholeskyInto computes the lower-triangular factor L with a = L Lᵀ into l,
+// which must be a square matrix of a's shape (its prior contents are
+// overwritten, including the strict upper triangle, which is zeroed). Only
+// a's lower triangle is read. It returns ErrNotPositiveDefinite when a is
+// not (numerically) symmetric positive definite.
+func CholeskyInto(l, a *Dense) error {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: cholesky of non-square %dx%d", a.rows, a.cols))
+	}
+	if l.rows != a.rows || l.cols != a.cols {
+		panic(fmt.Sprintf("mat: cholesky destination %dx%d for %dx%d input", l.rows, l.cols, a.rows, a.cols))
+	}
+	n := a.rows
+	ld := l.data
+	for i := range ld {
+		ld[i] = 0
+	}
+	for j := 0; j < n; j++ {
+		lj := ld[j*n : j*n+n]
+		d := a.data[j*n+j]
+		for k := 0; k < j; k++ {
+			d -= lj[k] * lj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		lj[j] = ljj
+		for i := j + 1; i < n; i++ {
+			li := ld[i*n : i*n+n]
+			s := a.data[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= li[k] * lj[k]
+			}
+			li[j] = s / ljj
+		}
+	}
+	return nil
+}
+
+// CholeskySolveInto solves a x = b given the Cholesky factor l of a,
+// writing the solution into x and using y as forward-substitution scratch.
+// b, x, and y must all have length n; x may alias b, y must not alias
+// either.
+func CholeskySolveInto(l *Dense, b, x, y []float64) {
+	n := l.rows
+	if len(b) != n || len(x) != n || len(y) != n {
+		panic(fmt.Sprintf("mat: cholesky solve dimensions %d/%d/%d != %d", len(b), len(x), len(y), n))
+	}
+	ld := l.data
+	// Forward substitution: L y = b.
+	for i := 0; i < n; i++ {
+		li := ld[i*n : i*n+n]
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= li[k] * y[k]
+		}
+		y[i] = s / li[i]
+	}
+	// Back substitution: Lᵀ x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= ld[k*n+i] * x[k]
+		}
+		x[i] = s / ld[i*n+i]
+	}
+}
+
+// RidgeScratch holds the working storage of RidgeSolveInto so a caller
+// solving many same-rank ridge systems (one per factor row per ALS sweep)
+// allocates once per worker instead of once per solve. The zero value is
+// usable; buffers grow on demand and are reused across ranks.
+type RidgeScratch struct {
+	gram *Dense
+	chol *Dense
+	rhs  []float64
+	y    []float64
+}
+
+// NewRidgeScratch returns scratch pre-sized for rank-r solves.
+func NewRidgeScratch(r int) *RidgeScratch {
+	s := &RidgeScratch{}
+	s.reset(r)
+	return s
+}
+
+// reset sizes the buffers for rank r and zeroes the accumulators.
+func (s *RidgeScratch) reset(r int) {
+	if s.gram == nil || s.gram.rows < r {
+		s.gram = NewDense(r, r)
+		s.chol = NewDense(r, r)
+		s.rhs = make([]float64, r)
+		s.y = make([]float64, r)
+		return
+	}
+	if s.gram.rows > r {
+		// Reshape the existing backing arrays down to r×r so row strides
+		// match the smaller rank.
+		s.gram = NewDenseData(r, r, s.gram.data[:r*r])
+		s.chol = NewDenseData(r, r, s.chol.data[:r*r])
+		s.rhs = s.rhs[:r]
+		s.y = s.y[:r]
+	}
+	for i := range s.gram.data {
+		s.gram.data[i] = 0
+	}
+	for i := range s.rhs {
+		s.rhs[i] = 0
+	}
+}
+
+// ErrRidgeNoObservations is returned by the ridge solvers when called with
+// an empty system.
+var ErrRidgeNoObservations = errors.New("mat: ridge with no observations")
+
+// RidgeSolveInto solves (AᵀA + λI) x = Aᵀ b into dst (length must equal the
+// feature dimension) without allocating: the Gram matrix, Cholesky factor,
+// and substitution buffers live in s. It is the allocation-free core of
+// RidgeSolve and the workhorse of the parallel ALS solver, where each
+// worker owns one scratch.
+func RidgeSolveInto(features [][]float64, targets []float64, lambda float64, dst []float64, s *RidgeScratch) error {
+	if len(features) != len(targets) {
+		panic(fmt.Sprintf("mat: ridge rows %d != targets %d", len(features), len(targets)))
+	}
+	if len(features) == 0 {
+		return ErrRidgeNoObservations
+	}
+	r := len(features[0])
+	if len(dst) != r {
+		panic(fmt.Sprintf("mat: ridge destination %d != rank %d", len(dst), r))
+	}
+	s.reset(r)
+	gd := s.gram.data
+	rhs := s.rhs
+	for row, f := range features {
+		if len(f) != r {
+			panic("mat: ragged feature rows")
+		}
+		t := targets[row]
+		for i := 0; i < r; i++ {
+			fi := f[i]
+			rhs[i] += fi * t
+			gi := gd[i*r : i*r+r]
+			for j := 0; j < r; j++ {
+				gi[j] += fi * f[j]
+			}
+		}
+	}
+	for i := 0; i < r; i++ {
+		gd[i*r+i] += lambda
+	}
+	if err := CholeskyInto(s.chol, s.gram); err != nil {
+		return err
+	}
+	CholeskySolveInto(s.chol, rhs, dst, s.y)
+	return nil
+}

@@ -1,0 +1,78 @@
+package mc
+
+import (
+	"fmt"
+	"testing"
+
+	"comfedsv/internal/rng"
+)
+
+// synthEntries samples a density-fraction of a random rank-`rank` matrix,
+// the observation pattern the completion solver sees in production.
+func synthEntries(rows, cols, rank int, density float64, seed int64) []Entry {
+	g := rng.New(seed)
+	w := randomFactor(rows, rank, 1, g)
+	h := randomFactor(cols, rank, 1, g)
+	var out []Entry
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if g.Float64() < density {
+				v := 0.0
+				for k := 0; k < rank; k++ {
+					v += w.Row(i)[k] * h.Row(j)[k]
+				}
+				out = append(out, Entry{Row: i, Col: j, Val: v})
+			}
+		}
+	}
+	return out
+}
+
+// BenchmarkComplete measures the ALS solver on a realistic utility-matrix
+// shape (T=60 rounds × 400 prefix columns, rank 5) across worker counts.
+// Run with -benchmem: the workers-1 case demonstrates the allocation-lean
+// ridge path (the seed ran this fixture at ~131 ms/op and 751,971
+// allocs/op; see CHANGES.md PR 2), the sweep demonstrates multicore
+// scaling on machines with spare cores.
+func BenchmarkComplete(b *testing.B) {
+	rows, cols := 60, 400
+	obs := synthEntries(rows, cols, 5, 0.15, 42)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			cfg := DefaultConfig(5)
+			cfg.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Complete(obs, rows, cols, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRidgeUpdate isolates the per-row ridge sub-solve, the innermost
+// kernel of every ALS sweep. The seed allocated features/targets/Gram/
+// Cholesky storage on every call; with a warm scratch it allocates nothing.
+func BenchmarkRidgeUpdate(b *testing.B) {
+	g := rng.New(7)
+	opposite := randomFactor(400, 5, 1, g)
+	entries := make([]Entry, 60)
+	for i := range entries {
+		entries[i] = Entry{Row: 0, Col: i * 6, Val: g.Normal(0, 1)}
+	}
+	dst := make([]float64, 5)
+	sc := newALSScratch(5)
+	// Warm the scratch so the steady-state zero-allocation path is measured.
+	if err := ridgeUpdate(entries, opposite, dst, 0.01, true, sc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ridgeUpdate(entries, opposite, dst, 0.01, true, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

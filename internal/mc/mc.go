@@ -13,6 +13,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"comfedsv/internal/mat"
 	"comfedsv/internal/rng"
@@ -75,6 +78,12 @@ type Config struct {
 	Restarts int
 	// Seed drives factor initialization (and SGD order).
 	Seed int64
+	// Workers bounds the number of goroutines the solver may use; 0 means
+	// GOMAXPROCS. ALS parallelizes across restarts and across factor rows
+	// (row updates against a fixed opposite factor are independent and
+	// write disjoint slices), so the result is bit-identical for every
+	// worker count. SGD is inherently sequential and ignores Workers.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used across the experiments.
@@ -116,7 +125,9 @@ func (r *Result) Completed() *mat.Dense {
 
 // Complete fits a rank-cfg.Rank factorization of a rows×cols matrix from
 // the observed entries, keeping the best of cfg.Restarts random
-// initializations.
+// initializations. Restarts run concurrently up to cfg.Workers; the winner
+// (lowest objective, earliest attempt on ties) is the same one the serial
+// loop would pick, so results do not depend on the worker count.
 func Complete(obs []Entry, rows, cols int, cfg Config) (*Result, error) {
 	if err := validate(obs, rows, cols, cfg); err != nil {
 		return nil, err
@@ -125,20 +136,55 @@ func Complete(obs []Entry, rows, cols int, cfg Config) (*Result, error) {
 	if restarts < 1 {
 		restarts = 1
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	conc := restarts
+	if conc > workers {
+		conc = workers
+	}
+	// Divide the worker budget across concurrent restarts so total
+	// goroutine pressure stays at cfg.Workers.
+	inner := workers / conc
+	if inner < 1 {
+		inner = 1
+	}
+
+	results := make([]*Result, restarts)
+	errs := make([]error, restarts)
+	if conc <= 1 {
+		for attempt := 0; attempt < restarts; attempt++ {
+			results[attempt], errs[attempt] = completeOnce(obs, rows, cols, cfg, cfg.Seed+int64(attempt), workers)
+		}
+	} else {
+		sem := make(chan struct{}, conc)
+		var wg sync.WaitGroup
+		for attempt := 0; attempt < restarts; attempt++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(attempt int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				results[attempt], errs[attempt] = completeOnce(obs, rows, cols, cfg, cfg.Seed+int64(attempt), inner)
+			}(attempt)
+		}
+		wg.Wait()
+	}
+
 	var best *Result
 	for attempt := 0; attempt < restarts; attempt++ {
-		res, err := completeOnce(obs, rows, cols, cfg, cfg.Seed+int64(attempt))
-		if err != nil {
-			return nil, err
+		if errs[attempt] != nil {
+			return nil, errs[attempt]
 		}
-		if best == nil || res.Objective < best.Objective {
-			best = res
+		if best == nil || results[attempt].Objective < best.Objective {
+			best = results[attempt]
 		}
 	}
 	return best, nil
 }
 
-func completeOnce(obs []Entry, rows, cols int, cfg Config, seed int64) (*Result, error) {
+func completeOnce(obs []Entry, rows, cols int, cfg Config, seed int64, workers int) (*Result, error) {
 	g := rng.New(seed)
 	scale := 1 / math.Sqrt(float64(cfg.Rank))
 	w := randomFactor(rows, cfg.Rank, scale, g)
@@ -146,7 +192,7 @@ func completeOnce(obs []Entry, rows, cols int, cfg Config, seed int64) (*Result,
 
 	switch cfg.Solver {
 	case ALS:
-		return completeALS(obs, w, h, cfg)
+		return completeALS(obs, w, h, cfg, workers)
 	case SGD:
 		return completeSGD(obs, w, h, cfg, g)
 	default:
@@ -199,7 +245,20 @@ func objective(obs []Entry, w, h *mat.Dense, lambda float64) (obj, rmse float64)
 	return sse + lambda*(fw*fw+fh*fh), math.Sqrt(sse / float64(len(obs)))
 }
 
-func completeALS(obs []Entry, w, h *mat.Dense, cfg Config) (*Result, error) {
+// alsScratch is the per-worker working storage of the ALS inner loop: the
+// ridge system's feature/target views and the mat.RidgeScratch buffers. One
+// scratch per worker removes every per-row allocation from the sweep.
+type alsScratch struct {
+	features [][]float64
+	targets  []float64
+	ridge    *mat.RidgeScratch
+}
+
+func newALSScratch(rank int) *alsScratch {
+	return &alsScratch{ridge: mat.NewRidgeScratch(rank)}
+}
+
+func completeALS(obs []Entry, w, h *mat.Dense, cfg Config, workers int) (*Result, error) {
 	rows, _ := w.Dims()
 	cols, _ := h.Dims()
 	byRow := make([][]Entry, rows)
@@ -209,21 +268,28 @@ func completeALS(obs []Entry, w, h *mat.Dense, cfg Config) (*Result, error) {
 		byCol[e.Col] = append(byCol[e.Col], e)
 	}
 
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	scratches := make([]*alsScratch, workers)
+	for i := range scratches {
+		scratches[i] = newALSScratch(cfg.Rank)
+	}
+
 	prev := math.Inf(1)
 	iters := 0
 	for it := 0; it < cfg.MaxIter; it++ {
 		iters = it + 1
-		// Update each row of W against fixed H.
-		for t := 0; t < rows; t++ {
-			if err := ridgeUpdate(byRow[t], h, w.Row(t), effLambda(cfg, len(byRow[t])), true); err != nil {
-				return nil, err
-			}
+		// Update each row of W against fixed H, then each row of H against
+		// fixed W. Within one half-sweep every row update reads only the
+		// fixed opposite factor and writes its own disjoint row slice, so
+		// the rows can be solved on any worker in any order without
+		// changing a single bit of the result.
+		if err := updateFactor(byRow, h, w, cfg, true, workers, scratches); err != nil {
+			return nil, err
 		}
-		// Update each row of H against fixed W.
-		for c := 0; c < cols; c++ {
-			if err := ridgeUpdate(byCol[c], w, h.Row(c), effLambda(cfg, len(byCol[c])), false); err != nil {
-				return nil, err
-			}
+		if err := updateFactor(byCol, w, h, cfg, false, workers, scratches); err != nil {
+			return nil, err
 		}
 		obj, _ := objective(obs, w, h, cfg.Lambda)
 		if !math.IsInf(prev, 1) && prev-obj <= cfg.Tol*math.Max(1, math.Abs(prev)) {
@@ -236,6 +302,52 @@ func completeALS(obs []Entry, w, h *mat.Dense, cfg Config) (*Result, error) {
 	return &Result{W: w, H: h, Objective: obj, Iterations: iters, TrainRMSE: rmse}, nil
 }
 
+// updateFactor solves the ridge sub-problem for every row of target against
+// the fixed opposite factor, fanning the rows out over workers goroutines.
+// groups[i] holds the observations of target row i.
+func updateFactor(groups [][]Entry, opposite, target *mat.Dense, cfg Config, rowSide bool, workers int, scratches []*alsScratch) error {
+	n := len(groups)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		sc := scratches[0]
+		for i := 0; i < n; i++ {
+			if err := ridgeUpdate(groups[i], opposite, target.Row(i), effLambda(cfg, len(groups[i])), rowSide, sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			sc := scratches[wk]
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ridgeUpdate(groups[i], opposite, target.Row(i), effLambda(cfg, len(groups[i])), rowSide, sc); err != nil {
+					errs[wk] = err
+					return
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // effLambda returns the regularization weight for a factor row with nobs
 // observations: constant under plain ALS, nobs-proportional under ALS-WR.
 func effLambda(cfg Config, nobs int) float64 {
@@ -245,18 +357,23 @@ func effLambda(cfg Config, nobs int) float64 {
 	return cfg.Lambda
 }
 
-// ridgeUpdate solves the ridge sub-problem for one factor row in place.
+// ridgeUpdate solves the ridge sub-problem for one factor row in place,
+// reusing the caller's scratch so the hot loop does not allocate.
 // If rowSide is true, entries index the opposite factor by Col, else by Row.
 // Rows with no observations are zeroed (the regularizer's minimizer).
-func ridgeUpdate(entries []Entry, opposite *mat.Dense, dst []float64, lambda float64, rowSide bool) error {
+func ridgeUpdate(entries []Entry, opposite *mat.Dense, dst []float64, lambda float64, rowSide bool, sc *alsScratch) error {
 	if len(entries) == 0 {
 		for i := range dst {
 			dst[i] = 0
 		}
 		return nil
 	}
-	features := make([][]float64, len(entries))
-	targets := make([]float64, len(entries))
+	if cap(sc.features) < len(entries) {
+		sc.features = make([][]float64, len(entries))
+		sc.targets = make([]float64, len(entries))
+	}
+	features := sc.features[:len(entries)]
+	targets := sc.targets[:len(entries)]
 	for i, e := range entries {
 		if rowSide {
 			features[i] = opposite.Row(e.Col)
@@ -265,11 +382,9 @@ func ridgeUpdate(entries []Entry, opposite *mat.Dense, dst []float64, lambda flo
 		}
 		targets[i] = e.Val
 	}
-	sol, err := mat.RidgeSolve(features, targets, lambda)
-	if err != nil {
+	if err := mat.RidgeSolveInto(features, targets, lambda, dst, sc.ridge); err != nil {
 		return fmt.Errorf("mc: ridge sub-problem: %w", err)
 	}
-	copy(dst, sol)
 	return nil
 }
 
@@ -281,7 +396,6 @@ func completeSGD(obs []Entry, w, h *mat.Dense, cfg Config, g *rng.RNG) (*Result,
 	// Per-entry regularization: λ scaled so the implicit objective matches
 	// the ALS objective in expectation over an epoch.
 	lam := cfg.Lambda / float64(len(obs))
-	_ = lam
 	prev := math.Inf(1)
 	iters := 0
 	r := cfg.Rank
@@ -295,8 +409,8 @@ func completeSGD(obs []Entry, w, h *mat.Dense, cfg Config, g *rng.RNG) (*Result,
 			hr := h.Row(e.Col)
 			err := mat.Dot(wr, hr) - e.Val
 			for k := 0; k < r; k++ {
-				gw := err*hr[k] + cfg.Lambda/float64(len(obs))*wr[k]
-				gh := err*wr[k] + cfg.Lambda/float64(len(obs))*hr[k]
+				gw := err*hr[k] + lam*wr[k]
+				gh := err*wr[k] + lam*hr[k]
 				wr[k] -= lr * gw
 				hr[k] -= lr * gh
 			}

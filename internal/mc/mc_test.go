@@ -3,6 +3,7 @@ package mc
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -266,5 +267,34 @@ func TestRelativeErrorHelper(t *testing.T) {
 	// Error: (3-3)² + (4-0)² = 16; norm² = 25 → 4/5.
 	if math.Abs(got-0.8) > 1e-12 {
 		t.Fatalf("RelativeError = %v, want 0.8", got)
+	}
+}
+
+// TestCompleteDeterministicAcrossWorkers pins the parallel-ALS contract:
+// every worker count produces the bit-identical factorization, because row
+// updates against a fixed opposite factor are independent and the restart
+// winner is chosen in attempt order.
+func TestCompleteDeterministicAcrossWorkers(t *testing.T) {
+	truth := lowRankTruth(12, 25, 3, 21)
+	obs := sample(truth, 0.4, 22)
+	cfg := DefaultConfig(3)
+
+	cfg.Workers = 1
+	base, err := Complete(obs, 12, 25, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 7, runtime.GOMAXPROCS(0)} {
+		cfg.Workers = workers
+		got, err := Complete(obs, 12, 25, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !mat.Equal(base.W, got.W, 0) || !mat.Equal(base.H, got.H, 0) {
+			t.Fatalf("workers=%d: factors differ from workers=1", workers)
+		}
+		if base.Objective != got.Objective || base.Iterations != got.Iterations || base.TrainRMSE != got.TrainRMSE {
+			t.Fatalf("workers=%d: result metadata differs: %+v vs %+v", workers, base, got)
+		}
 	}
 }

@@ -82,6 +82,13 @@ type Config struct {
 	// Store, if non-nil, receives every finished report, and its existing
 	// reports are exposed as done jobs at startup.
 	Store *persist.JobStore
+	// DefaultParallelism is the Options.Parallelism applied to submissions
+	// that leave it 0: the per-job CPU budget for the valuation hot path.
+	// 0 means a fair share of the machine across the worker pool —
+	// GOMAXPROCS divided by Workers, at least 1 — so a fully busy pool
+	// does not oversubscribe the host; a job that wants the whole machine
+	// can ask for it explicitly in its options.
+	DefaultParallelism int
 	// Value runs one valuation. Nil means comfedsv.ValueCtx; tests and
 	// custom pipelines may substitute their own.
 	Value func(ctx context.Context, clients []comfedsv.Client, test comfedsv.Client, opts comfedsv.Options) (*comfedsv.Report, error)
@@ -129,6 +136,12 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	if cfg.DefaultParallelism <= 0 {
+		cfg.DefaultParallelism = runtime.GOMAXPROCS(0) / cfg.Workers
+		if cfg.DefaultParallelism < 1 {
+			cfg.DefaultParallelism = 1
+		}
+	}
 	if cfg.Value == nil {
 		cfg.Value = comfedsv.ValueCtx
 	}
@@ -163,6 +176,10 @@ func NewManager(cfg Config) (*Manager, error) {
 
 // Workers returns the worker-pool size.
 func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// DefaultParallelism returns the per-job parallelism applied to submissions
+// that don't set their own.
+func (m *Manager) DefaultParallelism() int { return m.cfg.DefaultParallelism }
 
 // Submit validates nothing beyond queue capacity — the pipeline itself
 // rejects malformed requests when the job runs — and returns the new job's
@@ -414,6 +431,9 @@ func (m *Manager) value(ctx context.Context, j *job) (rep *comfedsv.Report, err 
 		}
 	}()
 	opts := j.req.Options
+	if opts.Parallelism == 0 {
+		opts.Parallelism = m.cfg.DefaultParallelism
+	}
 	prev := opts.OnProgress
 	opts.OnProgress = func(p comfedsv.Progress) {
 		m.mu.Lock()

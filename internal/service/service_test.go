@@ -6,6 +6,8 @@ import (
 	"math"
 	"os"
 	"reflect"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -482,5 +484,44 @@ func TestManagerShutdownDrainsQueuedJobs(t *testing.T) {
 	}
 	if _, err := m.Submit(tinyRequest(1)); !errors.Is(err, ErrShutdown) {
 		t.Fatalf("submit after shutdown: %v, want ErrShutdown", err)
+	}
+}
+
+// TestDefaultParallelismFairShare pins the fair-share rule: jobs that leave
+// Options.Parallelism at 0 get GOMAXPROCS/Workers (at least 1), and an
+// explicit per-job setting wins over the manager default.
+func TestDefaultParallelismFairShare(t *testing.T) {
+	var mu sync.Mutex
+	var seen []int
+	capture := func(ctx context.Context, clients []comfedsv.Client, test comfedsv.Client, opts comfedsv.Options) (*comfedsv.Report, error) {
+		mu.Lock()
+		seen = append(seen, opts.Parallelism)
+		mu.Unlock()
+		return &comfedsv.Report{}, nil
+	}
+
+	m := newManager(t, Config{Workers: 1, Value: capture})
+	wantShare := runtime.GOMAXPROCS(0) / 1
+	if m.DefaultParallelism() != wantShare {
+		t.Fatalf("DefaultParallelism = %d, want %d", m.DefaultParallelism(), wantShare)
+	}
+	id, err := m.Submit(tinyRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, id)
+
+	req := tinyRequest(2)
+	req.Options.Parallelism = 7
+	id, err = m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, id)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 || seen[0] != wantShare || seen[1] != 7 {
+		t.Fatalf("pipeline saw parallelism %v, want [%d 7]", seen, wantShare)
 	}
 }

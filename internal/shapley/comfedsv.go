@@ -103,6 +103,13 @@ type MonteCarloConfig struct {
 	Antithetic bool
 	// Seed drives permutation sampling.
 	Seed int64
+	// Workers bounds the number of concurrent utility evaluations in the
+	// observation stage; 0 means GOMAXPROCS. It also seeds
+	// Completion.Workers when that is left 0, so one knob parallelizes the
+	// whole pipeline. The estimate is bit-identical for every worker
+	// count: cells are evaluated by a deterministic pipeline and recorded
+	// into the Store in the serial order.
+	Workers int
 }
 
 // DefaultMonteCarloConfig returns M ≈ 2·N·ln(N) samples and the default
@@ -180,32 +187,56 @@ func MonteCarloCtx(ctx context.Context, e *utility.Evaluator, cfg MonteCarloConf
 		prefixCols[m] = cols
 	}
 
-	// Observe prefixes contained in the round's selection. Walking the
-	// permutation in order, prefixes stop being subsets of I_t at the first
-	// unselected element.
+	// Observation stage: the prefixes contained in each round's selection.
+	// Walking the permutation in order, prefixes stop being subsets of I_t
+	// at the first unselected element. The expensive test-loss evaluations
+	// are fanned out over a bounded worker pool, so the stage is split in
+	// three deterministic steps: collect the distinct (round, prefix)
+	// cells in the exact order the serial walk visits them, evaluate them
+	// concurrently through the shared evaluator cache, then record into
+	// the store in that same serial order — the resulting observation list
+	// is byte-identical to the serial pipeline's for any worker count.
+	type obsCell struct{ round, col int }
+	var cells []utility.Cell
+	seen := make(map[obsCell]bool)
 	for round, rd := range e.Run().Rounds {
 		selected := utility.FromMembers(n, rd.Selected)
-		for _, perm := range perms {
-			// Per-permutation check: a single round can cost tens of
-			// thousands of utility evaluations at large sample counts.
+		for m, perm := range perms {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			s := utility.NewSet(n)
-			for _, c := range perm {
+			for j, c := range perm {
 				if !selected.Contains(c) {
 					break
 				}
-				s.Add(c)
-				store.Observe(round, s, e.Utility(round, s))
+				// The prefix's column index was registered during setup;
+				// it identifies the subset without rebuilding a key, and
+				// the registered column set is the prefix itself.
+				oc := obsCell{round: round, col: prefixCols[m][j]}
+				if seen[oc] {
+					continue
+				}
+				seen[oc] = true
+				cells = append(cells, utility.Cell{Round: round, Subset: store.ColumnSet(oc.col)})
 			}
 		}
+	}
+	vals, err := e.UtilityBatchCtx(ctx, cells, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		store.Observe(c.Round, c.Subset, vals[i])
 	}
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, err := mc.Complete(toEntries(store.Observations()), t, store.NumColumns(), cfg.Completion)
+	completion := cfg.Completion
+	if completion.Workers == 0 {
+		completion.Workers = cfg.Workers
+	}
+	res, err := mc.Complete(toEntries(store.Observations()), t, store.NumColumns(), completion)
 	if err != nil {
 		return nil, fmt.Errorf("shapley: completing reduced utility matrix: %w", err)
 	}

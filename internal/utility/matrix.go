@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"comfedsv/internal/fl"
 	"comfedsv/internal/mat"
@@ -14,60 +15,128 @@ import (
 // underlying test-loss evaluations, which is the cost model the paper uses
 // in the time-complexity comparison (Section VII-D / Fig. 8).
 //
-// An Evaluator is safe for concurrent use: the memo table is guarded by a
-// mutex, so service workers can share one evaluator per run and amortize
-// test-loss calls across jobs. The underlying evaluation runs outside the
-// lock; concurrent first requests for the same cell may both evaluate it,
-// but the run is deterministic so they agree, and only one counts toward
-// Calls.
+// An Evaluator is safe for concurrent use and built for it: the memo table
+// is sharded across evalShards lock stripes keyed by a hash of the cell, so
+// a worker pool hammering the cache contends only on colliding stripes, and
+// an in-flight table deduplicates concurrent first requests for the same
+// cell — the expensive test-loss evaluation runs exactly once per distinct
+// cell no matter how many goroutines race for it, making Calls an exact
+// count of the Section VII-D cost model.
 type Evaluator struct {
-	run   *fl.Run
-	mu    sync.Mutex
-	cache map[cellKey]float64
-	calls int
+	run    *fl.Run
+	calls  atomic.Int64
+	shards [evalShards]evalShard
+}
+
+// evalShards is the number of lock stripes. 64 keeps the per-stripe maps
+// small and the collision probability low for any realistic worker count;
+// the array of that many mutex-guarded maps costs a few kilobytes.
+const evalShards = 64
+
+type evalShard struct {
+	mu       sync.Mutex
+	cache    map[cellKey]float64
+	inflight map[cellKey]chan struct{}
 }
 
 type cellKey struct {
 	t   int
-	key string
+	set setKey
+}
+
+// shard hashes the cell onto a lock stripe (FNV-style mixing over the
+// round, the mask word, and any overflow string bytes).
+func (ck cellKey) shard() uint64 {
+	h := (uint64(ck.t)+0x9e3779b97f4a7c15)*0xbf58476d1ce4e5b9 ^ ck.set.mask*0x94d049bb133111eb
+	h ^= h >> 31
+	for i := 0; i < len(ck.set.str); i++ {
+		h = (h ^ uint64(ck.set.str[i])) * 1099511628211
+	}
+	return h % evalShards
 }
 
 // NewEvaluator wraps a completed run.
 func NewEvaluator(run *fl.Run) *Evaluator {
-	return &Evaluator{run: run, cache: make(map[cellKey]float64)}
+	e := &Evaluator{run: run}
+	for i := range e.shards {
+		e.shards[i].cache = make(map[cellKey]float64)
+		e.shards[i].inflight = make(map[cellKey]chan struct{})
+	}
+	return e
 }
 
 // Run returns the underlying federated run.
 func (e *Evaluator) Run() *fl.Run { return e.run }
 
 // Calls returns the number of distinct utility evaluations performed.
-func (e *Evaluator) Calls() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.calls
-}
+func (e *Evaluator) Calls() int { return int(e.calls.Load()) }
 
 // Utility returns U_t(S). The empty coalition has utility 0 by convention.
 func (e *Evaluator) Utility(t int, s Set) float64 {
 	if s.IsEmpty() {
 		return 0
 	}
-	ck := cellKey{t: t, key: s.Key()}
-	e.mu.Lock()
-	if v, ok := e.cache[ck]; ok {
-		e.mu.Unlock()
-		return v
+	ck := cellKey{t: t, set: s.cacheKey()}
+	sh := &e.shards[ck.shard()]
+	sh.mu.Lock()
+	for {
+		if v, ok := sh.cache[ck]; ok {
+			sh.mu.Unlock()
+			return v
+		}
+		done, ok := sh.inflight[ck]
+		if !ok {
+			break
+		}
+		// Another goroutine is evaluating this cell; wait for it rather
+		// than duplicating the expensive test-loss call.
+		sh.mu.Unlock()
+		<-done
+		sh.mu.Lock()
 	}
-	e.mu.Unlock()
+	done := make(chan struct{})
+	sh.inflight[ck] = done
+	sh.mu.Unlock()
+
+	// If the evaluation panics (it cannot for the cells the pipelines
+	// produce, but a shared evaluator must not let one poisoned caller
+	// strand every waiter), unregister the claim before unwinding.
+	completed := false
+	defer func() {
+		if !completed {
+			sh.mu.Lock()
+			delete(sh.inflight, ck)
+			sh.mu.Unlock()
+			close(done)
+		}
+	}()
 	v := e.run.Utility(t, s.Members())
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if prev, ok := e.cache[ck]; ok {
-		return prev
-	}
-	e.cache[ck] = v
-	e.calls++
+
+	sh.mu.Lock()
+	sh.cache[ck] = v
+	delete(sh.inflight, ck)
+	sh.mu.Unlock()
+	e.calls.Add(1)
+	completed = true
+	close(done)
 	return v
+}
+
+// UtilityBatchCtx evaluates the given cells concurrently on a bounded
+// worker pool sharing this evaluator's cache and returns the utilities in
+// input order. workers ≤ 0 means GOMAXPROCS; the pool never exceeds the
+// number of cells. Duplicate and already-cached cells cost one cache hit;
+// concurrent first requests for the same cell are deduplicated by the
+// in-flight table. Cancellation is checked before each evaluation.
+func (e *Evaluator) UtilityBatchCtx(ctx context.Context, cells []Cell, workers int) ([]float64, error) {
+	out := make([]float64, len(cells))
+	forEachIndex(ctx, len(cells), workers, func(i int) {
+		out[i] = e.Utility(cells[i].Round, cells[i].Subset)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Observation is one observed entry of the utility matrix, with its column
@@ -84,7 +153,7 @@ type Observation struct {
 type Store struct {
 	T       int
 	n       int
-	cols    map[string]int
+	cols    map[setKey]int
 	colSets []Set
 	obs     []Observation
 	seen    map[cellKey]bool
@@ -92,7 +161,7 @@ type Store struct {
 
 // NewStore returns an empty store for a T-round run over n clients.
 func NewStore(t, n int) *Store {
-	return &Store{T: t, n: n, cols: make(map[string]int), seen: make(map[cellKey]bool)}
+	return &Store{T: t, n: n, cols: make(map[setKey]int), seen: make(map[cellKey]bool)}
 }
 
 // ColumnOf returns the dense column index for subset s, registering it on
@@ -101,7 +170,7 @@ func (st *Store) ColumnOf(s Set) int {
 	if s.Universe() != st.n {
 		panic(fmt.Sprintf("utility: subset universe %d, store universe %d", s.Universe(), st.n))
 	}
-	k := s.Key()
+	k := s.cacheKey()
 	if c, ok := st.cols[k]; ok {
 		return c
 	}
@@ -113,7 +182,7 @@ func (st *Store) ColumnOf(s Set) int {
 
 // HasColumn reports whether s has been registered, without registering it.
 func (st *Store) HasColumn(s Set) (int, bool) {
-	c, ok := st.cols[s.Key()]
+	c, ok := st.cols[s.cacheKey()]
 	return c, ok
 }
 
@@ -129,7 +198,7 @@ func (st *Store) Observe(t int, s Set, val float64) {
 	if t < 0 || t >= st.T {
 		panic(fmt.Sprintf("utility: round %d out of [0,%d)", t, st.T))
 	}
-	ck := cellKey{t: t, key: s.Key()}
+	ck := cellKey{t: t, set: s.cacheKey()}
 	if st.seen[ck] {
 		return
 	}

@@ -1,6 +1,7 @@
 package utility
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -56,5 +57,95 @@ func TestEvaluatorConcurrent(t *testing.T) {
 	}
 	if e.Calls() != serial.Calls() {
 		t.Fatalf("Calls = %d, serial made %d", e.Calls(), serial.Calls())
+	}
+}
+
+// TestEvaluatorInflightDedup pins the sharded cache's singleflight
+// behavior: when many goroutines request the same distinct cells at once,
+// each cell's test-loss evaluation runs exactly once — Calls equals the
+// distinct-cell count, not merely bounds it.
+func TestEvaluatorInflightDedup(t *testing.T) {
+	run := tinyRun(t, 6, 3, 2)
+	e := NewEvaluator(run)
+
+	var cells []Cell
+	for round := 0; round < 3; round++ {
+		for mask := uint64(1); mask < 1<<6; mask++ {
+			cells = append(cells, Cell{Round: round, Subset: FromMask(6, mask)})
+		}
+	}
+
+	const goroutines = 16
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait() // release every goroutine at once to maximize races
+			for _, c := range cells {
+				e.Utility(c.Round, c.Subset)
+			}
+		}()
+	}
+	start.Done()
+	wg.Wait()
+
+	if e.Calls() != len(cells) {
+		t.Fatalf("Calls = %d, want exactly %d distinct evaluations", e.Calls(), len(cells))
+	}
+}
+
+// TestUtilityBatchMatchesSerial checks UtilityBatchCtx against one-by-one
+// evaluation for several worker counts, including duplicate cells in the
+// batch.
+func TestUtilityBatchMatchesSerial(t *testing.T) {
+	run := tinyRun(t, 5, 4, 2)
+	serial := NewEvaluator(run)
+
+	var cells []Cell
+	for round := 0; round < 4; round++ {
+		for mask := uint64(1); mask < 1<<5; mask++ {
+			cells = append(cells, Cell{Round: round, Subset: FromMask(5, mask)})
+		}
+	}
+	// Duplicates and an empty subset must round-trip too.
+	cells = append(cells, cells[3], cells[17], Cell{Round: 1, Subset: NewSet(5)})
+
+	want := make([]float64, len(cells))
+	for i, c := range cells {
+		want[i] = serial.Utility(c.Round, c.Subset)
+	}
+
+	for _, workers := range []int{0, 1, 4, 64} {
+		e := NewEvaluator(run)
+		got, err := e.UtilityBatchCtx(context.Background(), cells, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d cell %d: batch %v, serial %v", workers, i, got[i], want[i])
+			}
+		}
+		if e.Calls() != serial.Calls() {
+			t.Fatalf("workers=%d: Calls = %d, serial made %d", workers, e.Calls(), serial.Calls())
+		}
+	}
+}
+
+// TestUtilityBatchCancellation verifies a cancelled context aborts the
+// batch with the context's error.
+func TestUtilityBatchCancellation(t *testing.T) {
+	run := tinyRun(t, 5, 3, 2)
+	e := NewEvaluator(run)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var cells []Cell
+	for mask := uint64(1); mask < 1<<5; mask++ {
+		cells = append(cells, Cell{Round: 0, Subset: FromMask(5, mask)})
+	}
+	if _, err := e.UtilityBatchCtx(ctx, cells, 2); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -148,6 +148,26 @@ func (s Set) Key() string {
 	return string(b)
 }
 
+// setKey is a comparable, allocation-free identifier of a Set within one
+// fixed universe: for n ≤ 64 the single bitmask word identifies the set and
+// str stays empty; larger universes fall back to the Key() string. Two sets
+// over the same universe have equal setKeys iff they are equal, which is
+// the invariant the evaluator cache and the Store's column index rely on.
+type setKey struct {
+	mask uint64
+	str  string
+}
+
+// cacheKey returns the setKey of s. It does not allocate for n ≤ 64 — the
+// memoized-evaluator hot path, where the seed's per-lookup Key() string
+// materialization dominated small-coalition lookups.
+func (s Set) cacheKey() setKey {
+	if len(s.words) <= 1 {
+		return setKey{mask: s.Mask()}
+	}
+	return setKey{str: s.Key()}
+}
+
 // String renders the member list, e.g. "{0,3,7}".
 func (s Set) String() string {
 	ms := s.Members()

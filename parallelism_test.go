@@ -1,0 +1,52 @@
+package comfedsv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// TestReportByteIdenticalAcrossParallelism is the end-to-end determinism
+// guarantee of the parallel hot path: the same seed and submission must
+// serialize to the byte-identical job report (the service's wire and
+// on-disk format) for every Parallelism setting.
+func TestReportByteIdenticalAcrossParallelism(t *testing.T) {
+	clients, test := makeClients(t, 6, 20, 40, 301)
+	base := DefaultOptions(10)
+	base.Rounds = 5
+	base.ClientsPerRound = 2
+	base.Model = MLP
+	base.HiddenUnits = 6
+	base.LearningRate = 0.1
+	base.MonteCarloSamples = 25
+
+	encode := func(parallelism int) []byte {
+		opts := base
+		opts.Parallelism = parallelism
+		rep, err := ValueCtx(context.Background(), clients, test, opts)
+		if err != nil {
+			t.Fatalf("parallelism=%d: %v", parallelism, err)
+		}
+		body, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatalf("parallelism=%d: %v", parallelism, err)
+		}
+		return body
+	}
+
+	want := encode(1)
+	for _, p := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		if got := encode(p); !bytes.Equal(want, got) {
+			t.Fatalf("parallelism=%d report differs from parallelism=1:\n%s\nvs\n%s", p, got, want)
+		}
+	}
+
+	// The exact (non-sampled) pipeline must hold the same guarantee.
+	base.MonteCarloSamples = 0
+	want = encode(1)
+	if got := encode(3); !bytes.Equal(want, got) {
+		t.Fatalf("exact pipeline: parallelism=3 report differs from parallelism=1:\n%s\nvs\n%s", got, want)
+	}
+}
