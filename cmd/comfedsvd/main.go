@@ -3,8 +3,12 @@
 // /v1/jobs, poll status and progress, and fetch the finished FedSV /
 // ComFedSV report. Jobs run asynchronously on a bounded worker pool;
 // finished reports are optionally persisted to disk so they survive
-// restarts. See internal/api for the route table and README.md for curl
-// examples.
+// restarts. Training runs can be registered once as shared /v1/runs
+// resources (content-addressed, optionally persisted via -runs-dir) and
+// referenced by any number of jobs through "run_id", which amortizes the
+// training trace and the test-loss evaluator cache across jobs without
+// changing a byte of any report. See internal/api for the route table and
+// README.md for curl examples.
 package main
 
 import (
@@ -30,6 +34,7 @@ func main() {
 		par      = flag.Int("parallelism", 0, "per-job CPU parallelism for jobs that don't set it (0 = fair share of GOMAXPROCS across workers)")
 		queue    = flag.Int("queue", 64, "max queued jobs before submissions are rejected")
 		storeDir = flag.String("store", "", "directory for persisted job reports (empty = in-memory only)")
+		runsDir  = flag.String("runs-dir", "", "directory for persisted shared training runs (empty = in-memory only)")
 		timeout  = flag.Duration("drain", 30*time.Second, "max time to drain running jobs on shutdown")
 	)
 	flag.Parse()
@@ -42,6 +47,14 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Store = store
+	}
+	if *runsDir != "" {
+		runStore, err := persist.NewRunStore(*runsDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "comfedsvd:", err)
+			os.Exit(2)
+		}
+		cfg.RunStore = runStore
 	}
 	mgr, err := service.NewManager(cfg)
 	if err != nil {
@@ -64,8 +77,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("comfedsvd: listening on %s (workers=%d parallelism=%d queue=%d store=%q)",
-		*addr, mgr.Workers(), mgr.DefaultParallelism(), *queue, *storeDir)
+	log.Printf("comfedsvd: listening on %s (workers=%d parallelism=%d queue=%d store=%q runs-dir=%q)",
+		*addr, mgr.Workers(), mgr.DefaultParallelism(), *queue, *storeDir, *runsDir)
 
 	select {
 	case err := <-errc:

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"comfedsv/internal/dataset"
 	"comfedsv/internal/fl"
@@ -148,6 +149,90 @@ func Value(clients []Client, test Client, opts Options) (*Report, error) {
 // result. This is the entry point the comfedsvd service uses so running
 // jobs can be cancelled.
 func ValueCtx(ctx context.Context, clients []Client, test Client, opts Options) (*Report, error) {
+	tr, err := TrainCtx(ctx, clients, test, opts)
+	if err != nil {
+		return nil, err
+	}
+	// A private evaluator: the one-shot path owns its memo table, so
+	// UtilityCalls is exactly the distinct-evaluation count of this run.
+	report, err := valueStages(ctx, tr, tr.eval, opts)
+	if err != nil {
+		return nil, err
+	}
+	report.UtilityCalls = tr.eval.Calls()
+	return report, nil
+}
+
+// TrainedRun is a completed FedAvg training trace bundled with a shared,
+// goroutine-safe evaluator over its utility matrix. It is the unit the
+// comfedsvd run registry shares across valuation jobs: training happens
+// once, and every ValueRunCtx call against the same TrainedRun reuses the
+// memo table, amortizing the test-loss evaluations that dominate valuation
+// cost (Section VII-D).
+type TrainedRun struct {
+	run  *fl.Run
+	eval *utility.Evaluator
+
+	// Final-model metrics are deterministic functions of the trace;
+	// computing them once per run (not once per valuation) keeps repeated
+	// valuations from paying full test-set passes the shared cache exists
+	// to amortize.
+	metricsOnce sync.Once
+	finalLoss   float64
+	finalAcc    float64
+}
+
+// finalMetrics returns the final global model's test loss and accuracy,
+// computed on first use and shared by every valuation over this run.
+func (tr *TrainedRun) finalMetrics() (loss, acc float64) {
+	tr.metricsOnce.Do(func() {
+		tr.finalLoss = tr.run.Model.Loss(tr.run.Final, tr.run.Test)
+		tr.finalAcc = model.Accuracy(tr.run.Model, tr.run.Final, tr.run.Test)
+	})
+	return tr.finalLoss, tr.finalAcc
+}
+
+// NewTrainedRun wraps an existing training trace (e.g. one loaded from a
+// persist.RunStore) with a fresh shared evaluator.
+func NewTrainedRun(run *fl.Run) *TrainedRun {
+	return &TrainedRun{run: run, eval: utility.NewEvaluator(run)}
+}
+
+// Run returns the underlying training trace (for persistence).
+func (tr *TrainedRun) Run() *fl.Run { return tr.run }
+
+// NumClients returns the number of participating clients.
+func (tr *TrainedRun) NumClients() int { return tr.run.NumClients() }
+
+// NumRounds returns the number of recorded FedAvg rounds.
+func (tr *TrainedRun) NumRounds() int { return len(tr.run.Rounds) }
+
+// CacheStats returns the shared evaluator's cumulative hit/miss ledger
+// across every valuation that used this run.
+func (tr *TrainedRun) CacheStats() EvalStats {
+	return EvalStats{Hits: tr.eval.Hits(), Misses: tr.eval.Calls()}
+}
+
+// EvalStats is a utility-cache ledger: Misses counts distinct test-loss
+// evaluations paid for, Hits counts lookups served from the memo table.
+type EvalStats struct {
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+}
+
+// Train runs only the FedAvg training stage of Value and returns the
+// trace ready for (repeated) valuation.
+func Train(clients []Client, test Client, opts Options) (*TrainedRun, error) {
+	return TrainCtx(context.Background(), clients, test, opts)
+}
+
+// TrainCtx is Train with cooperative cancellation, checked at every FedAvg
+// round boundary. Only the training-relevant Options fields matter here
+// (NumClasses, Rounds, ClientsPerRound, LearningRate, Model, HiddenUnits,
+// Seed); valuation fields like Rank and MonteCarloSamples are read later
+// by ValueRunCtx, which is what lets jobs with different valuation
+// settings share one trace.
+func TrainCtx(ctx context.Context, clients []Client, test Client, opts Options) (*TrainedRun, error) {
 	if len(clients) == 0 {
 		return nil, errors.New("comfedsv: no clients")
 	}
@@ -215,14 +300,52 @@ func ValueCtx(ctx context.Context, clients []Client, test Client, opts Options) 
 	if err != nil {
 		return nil, stageErr(ctx, "training", err)
 	}
-	eval := utility.NewEvaluator(run)
+	return NewTrainedRun(run), nil
+}
 
+// ValueRun values every client against a precomputed training run.
+func ValueRun(tr *TrainedRun, opts Options) (*Report, EvalStats, error) {
+	return ValueRunCtx(context.Background(), tr, opts)
+}
+
+// ValueRunCtx runs the valuation stages of ValueCtx against a precomputed
+// TrainedRun, sharing its evaluator cache with every other valuation over
+// the same run. Only the valuation-relevant Options fields are read
+// (Rank, MonteCarloSamples, Seed, Parallelism, OnProgress), and they are
+// validated exactly as the inline path validates them. The returned
+// report is byte-identical (under JSON encoding) to a ValueCtx call whose
+// training options produced this run: the computed values are
+// deterministic memoized functions of the trace, and UtilityCalls counts
+// the distinct cells *this* valuation requested, not what the shared
+// cache happened to hold. The returned EvalStats splits those cells into
+// shared-cache hits and fresh evaluations.
+func ValueRunCtx(ctx context.Context, tr *TrainedRun, opts Options) (*Report, EvalStats, error) {
+	session := tr.eval.NewSession()
+	report, err := valueStages(ctx, tr, session, opts)
+	if err != nil {
+		return nil, EvalStats{}, err
+	}
+	report.UtilityCalls = session.Calls()
+	return report, EvalStats{Hits: session.Hits(), Misses: session.Misses()}, nil
+}
+
+// valueStages runs the post-training pipeline — final-model metrics, FedSV,
+// ComFedSV — against any utility source (a private evaluator for one-shot
+// calls, a shared-cache session for run-backed jobs). UtilityCalls is left
+// to the caller, whose source knows its own accounting.
+func valueStages(ctx context.Context, tr *TrainedRun, src utility.Source, opts Options) (*Report, error) {
+	progress := func(p Progress) {
+		if opts.OnProgress != nil {
+			opts.OnProgress(p)
+		}
+	}
+	loss, acc := tr.finalMetrics()
 	report := &Report{
-		FinalTestLoss: m.Loss(run.Final, testSet),
-		FinalAccuracy: model.Accuracy(m, run.Final, testSet),
+		FinalTestLoss: loss,
+		FinalAccuracy: acc,
 	}
 	progress(Progress{Stage: StageFedSV, Done: 0, Total: 1})
-	fedsv, err := shapley.FedSVCtx(ctx, eval)
+	fedsv, err := shapley.FedSVCtx(ctx, src)
 	if err != nil {
 		return nil, stageErr(ctx, "fedsv", err)
 	}
@@ -233,7 +356,7 @@ func ValueCtx(ctx context.Context, clients []Client, test Client, opts Options) 
 	mcCfg := mc.DefaultConfig(opts.Rank)
 	mcCfg.Workers = opts.Parallelism
 	if opts.MonteCarloSamples > 0 {
-		res, err := shapley.MonteCarloCtx(ctx, eval, shapley.MonteCarloConfig{
+		res, err := shapley.MonteCarloCtx(ctx, src, shapley.MonteCarloConfig{
 			Samples:    opts.MonteCarloSamples,
 			Completion: mcCfg,
 			Seed:       opts.Seed + 1,
@@ -246,7 +369,7 @@ func ValueCtx(ctx context.Context, clients []Client, test Client, opts Options) 
 		report.ObservedDensity = res.Store.Density()
 		report.CompletionRMSE = res.Completion.TrainRMSE
 	} else {
-		res, err := shapley.ComFedSVExactCtx(ctx, eval, mcCfg)
+		res, err := shapley.ComFedSVExactCtx(ctx, src, mcCfg)
 		if err != nil {
 			return nil, stageErr(ctx, "valuation", err)
 		}
@@ -255,7 +378,6 @@ func ValueCtx(ctx context.Context, clients []Client, test Client, opts Options) 
 		report.CompletionRMSE = res.Completion.TrainRMSE
 	}
 	progress(Progress{Stage: StageComFedSV, Done: 1, Total: 1})
-	report.UtilityCalls = eval.Calls()
 	return report, nil
 }
 

@@ -1,16 +1,21 @@
 // Package api exposes the service job engine over an HTTP JSON API — the
 // wire surface of the comfedsvd daemon:
 //
-//	POST /v1/jobs             submit a valuation job (clients + options)
+//	POST /v1/jobs             submit a valuation job (clients + options,
+//	                          or "run_id" to value against a shared run)
 //	GET  /v1/jobs             list all jobs
 //	GET  /v1/jobs/{id}        job status and progress
 //	GET  /v1/jobs/{id}/report finished report (FedSV / ComFedSV values)
 //	POST /v1/jobs/{id}/cancel cancel a queued or running job
-//	GET  /v1/healthz          liveness plus job/worker counts
+//	POST /v1/runs             register (and train, if new) a shared run
+//	GET  /v1/runs             list all shared runs
+//	GET  /v1/runs/{id}        run status, refcount, cache hit/miss counters
+//	DELETE /v1/runs/{id}      delete a run (409 while jobs reference it)
+//	GET  /v1/healthz          liveness plus job/run/worker counts
 //
 // Every response body is JSON; errors are {"error": "..."} with a
-// meaningful status code (400 malformed, 404 unknown job, 409 report not
-// ready, 503 queue full or shutting down).
+// meaningful status code (400 malformed, 404 unknown job/run, 409 report
+// not ready or run still referenced, 503 queue full or shutting down).
 package api
 
 import (
@@ -47,6 +52,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.report)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.cancel)
+	mux.HandleFunc("POST /v1/runs", s.createRun)
+	mux.HandleFunc("GET /v1/runs", s.listRuns)
+	mux.HandleFunc("GET /v1/runs/{id}", s.runStatus)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.deleteRun)
 	mux.HandleFunc("GET /v1/healthz", s.healthz)
 	return mux
 }
@@ -79,8 +88,20 @@ type optionsJSON struct {
 }
 
 func (o optionsJSON) toOptions() (comfedsv.Options, error) {
-	opts := comfedsv.DefaultOptions(o.NumClasses)
-	if o.NumClasses < 2 {
+	return o.overlay(true)
+}
+
+// overlay validates the wire options and applies them over the defaults.
+// requireClasses is false for run-backed jobs: their model (and so the
+// class count) is fixed by the referenced run, and only the valuation
+// fields matter.
+func (o optionsJSON) overlay(requireClasses bool) (comfedsv.Options, error) {
+	numClasses := o.NumClasses
+	if !requireClasses && numClasses == 0 {
+		numClasses = 2 // ignored downstream; keeps the defaults constructor happy
+	}
+	opts := comfedsv.DefaultOptions(numClasses)
+	if numClasses < 2 {
 		return opts, fmt.Errorf("options.num_classes must be at least 2, got %d", o.NumClasses)
 	}
 	// Zero means "use the default" (the fields are omitempty); negatives
@@ -135,10 +156,12 @@ func (o optionsJSON) toOptions() (comfedsv.Options, error) {
 	return opts, nil
 }
 
-// jobRequest is the body of POST /v1/jobs.
+// jobRequest is the body of POST /v1/jobs. Either Clients+Test (inline
+// training) or RunID (value against a shared run) must be given, not both.
 type jobRequest struct {
-	Clients []clientJSON `json:"clients"`
-	Test    clientJSON   `json:"test"`
+	RunID   string       `json:"run_id,omitempty"`
+	Clients []clientJSON `json:"clients,omitempty"`
+	Test    clientJSON   `json:"test,omitempty"`
 	Options optionsJSON  `json:"options"`
 }
 
@@ -165,6 +188,75 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("unexpected trailing data after JSON body"))
 		return
 	}
+	if req.RunID != "" && (len(req.Clients) > 0 || len(req.Test.X) > 0 || len(req.Test.Y) > 0) {
+		writeError(w, http.StatusBadRequest, errors.New("run_id and inline clients/test are mutually exclusive"))
+		return
+	}
+	if req.RunID == "" && len(req.Clients) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no clients"))
+		return
+	}
+	opts, err := req.Options.overlay(req.RunID == "")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sr := service.Request{RunID: req.RunID, Options: opts}
+	if req.RunID == "" {
+		sr.Test = toClient(req.Test)
+		for _, c := range req.Clients {
+			sr.Clients = append(sr.Clients, toClient(c))
+		}
+	}
+	id, err := s.mgr.Submit(sr)
+	switch {
+	case errors.Is(err, service.ErrRunNotFound):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrShutdown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: id, State: service.StateQueued})
+}
+
+// runRequest is the body of POST /v1/runs: the datasets plus the training
+// half of the options. Valuation-only fields (rank, monte_carlo_samples,
+// parallelism) are accepted but do not participate in the run's identity —
+// jobs that differ only in them share the run.
+type runRequest struct {
+	Clients []clientJSON `json:"clients"`
+	Test    clientJSON   `json:"test"`
+	Options optionsJSON  `json:"options"`
+}
+
+// createRunResponse is the body of a successful POST /v1/runs.
+type createRunResponse struct {
+	ID      string           `json:"id"`
+	State   service.RunState `json:"state"`
+	Created bool             `json:"created"`
+}
+
+func (s *Server) createRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, errors.New("unexpected trailing data after JSON body"))
+		return
+	}
 	if len(req.Clients) == 0 {
 		writeError(w, http.StatusBadRequest, errors.New("no clients"))
 		return
@@ -174,20 +266,52 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sr := service.Request{Test: toClient(req.Test), Options: opts}
+	spec := service.RunSpec{Test: toClient(req.Test), Options: opts}
 	for _, c := range req.Clients {
-		sr.Clients = append(sr.Clients, toClient(c))
+		spec.Clients = append(spec.Clients, toClient(c))
 	}
-	id, err := s.mgr.Submit(sr)
+	st, created, err := s.mgr.CreateRun(spec)
 	switch {
-	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrShutdown):
+	case errors.Is(err, service.ErrShutdown):
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, submitResponse{ID: id, State: service.StateQueued})
+	// 202 while the new run trains; re-registering an existing run is a
+	// cheap idempotent 200.
+	code := http.StatusOK
+	if created {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, createRunResponse{ID: st.ID, State: st.State, Created: created})
+}
+
+func (s *Server) listRuns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"runs": s.mgr.Runs()})
+}
+
+func (s *Server) runStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.RunStatus(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) deleteRun(w http.ResponseWriter, r *http.Request) {
+	switch err := s.mgr.DeleteRun(r.PathValue("id")); {
+	case errors.Is(err, service.ErrRunNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, service.ErrRunBusy):
+		writeError(w, http.StatusConflict, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		w.WriteHeader(http.StatusNoContent)
+	}
 }
 
 func toClient(c clientJSON) comfedsv.Client { return comfedsv.Client{X: c.X, Y: c.Y} }
@@ -242,6 +366,7 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	counts := s.mgr.Counts()
+	runCounts := s.mgr.RunCounts()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.started).Seconds(),
@@ -251,6 +376,11 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 			"running": counts[service.StateRunning],
 			"done":    counts[service.StateDone],
 			"failed":  counts[service.StateFailed],
+		},
+		"runs": map[string]int{
+			"training": runCounts[service.RunTraining],
+			"ready":    runCounts[service.RunReady],
+			"failed":   runCounts[service.RunFailed],
 		},
 	})
 }

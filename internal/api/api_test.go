@@ -329,6 +329,282 @@ func TestDaemonHealthAndList(t *testing.T) {
 	}
 }
 
+// postJSON POSTs a body and decodes the JSON response.
+func postJSON(t *testing.T, url string, body []byte, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decoding: %v", url, err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
+}
+
+// getBody fetches a URL and returns the raw response bytes — the tool for
+// byte-identity assertions on reports.
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// waitRunReady polls a run's status until it leaves the training state,
+// failing the test if it ends up failed.
+func waitRunReady(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var st service.RunStatus
+		if code := getJSON(t, base+"/v1/runs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("GET run status: %d", code)
+		}
+		switch st.State {
+		case service.RunReady:
+			return
+		case service.RunFailed:
+			t.Fatalf("run failed: %s", st.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("run never became ready")
+}
+
+// TestDaemonSharedRunEndToEnd is the acceptance walkthrough of the shared-
+// run surface: register one run, submit two jobs against it plus their
+// inline-config equivalents, and require (1) byte-identical report bodies
+// between each run-backed job and its inline twin, (2) a nonzero
+// cache-hit counter on the second run-backed job, and (3) run counters
+// that show the amortization.
+func TestDaemonSharedRunEndToEnd(t *testing.T) {
+	ts := testDaemon(t, service.Config{Workers: 2})
+	payload, _, _, _ := tinyJob(31)
+
+	var created struct {
+		ID      string `json:"id"`
+		State   string `json:"state"`
+		Created bool   `json:"created"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/runs", payload, &created); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/runs: %d", code)
+	}
+	if created.ID == "" || !created.Created || created.State != "training" {
+		t.Fatalf("create response %+v", created)
+	}
+	// Idempotent re-registration: 200, same ID, no second training.
+	var again struct {
+		ID      string `json:"id"`
+		Created bool   `json:"created"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/runs", payload, &again); code != http.StatusOK {
+		t.Fatalf("duplicate POST /v1/runs: %d", code)
+	}
+	if again.ID != created.ID || again.Created {
+		t.Fatalf("duplicate create response %+v, want dedup onto %s", again, created.ID)
+	}
+	waitRunReady(t, ts.URL, created.ID)
+
+	// The run-backed submission reuses the inline options minus the data.
+	runJobBody := []byte(fmt.Sprintf(
+		`{"run_id": %q, "options": {"num_classes": 2, "rounds": 4, "clients_per_round": 2, "seed": 31}}`,
+		created.ID))
+
+	type jobResult struct {
+		id     string
+		report []byte
+		stats  *comfedsv.EvalStats
+	}
+	runJob := func(body []byte) jobResult {
+		id := submitAndWait(t, ts.URL, body)
+		code, rep := getBody(t, ts.URL+"/v1/jobs/"+id+"/report")
+		if code != http.StatusOK {
+			t.Fatalf("GET report: %d", code)
+		}
+		var st service.Status
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("GET status: %d", code)
+		}
+		return jobResult{id: id, report: rep, stats: st.CacheStats}
+	}
+
+	first := runJob(runJobBody)
+	second := runJob(runJobBody)
+	inline1 := runJob(payload)
+	inline2 := runJob(payload)
+
+	if !bytes.Equal(first.report, inline1.report) {
+		t.Fatalf("first run-backed report differs from inline equivalent:\n%s\nvs\n%s", first.report, inline1.report)
+	}
+	if !bytes.Equal(second.report, inline2.report) {
+		t.Fatalf("second run-backed report differs from inline equivalent:\n%s\nvs\n%s", second.report, inline2.report)
+	}
+	if first.stats == nil || first.stats.Misses == 0 {
+		t.Fatalf("first run-backed job cache stats %+v, want misses on a cold cache", first.stats)
+	}
+	if second.stats == nil || second.stats.Hits == 0 || second.stats.Misses != 0 {
+		t.Fatalf("second run-backed job cache stats %+v, want a nonzero hit counter and no misses", second.stats)
+	}
+	if inline1.stats != nil {
+		t.Fatalf("inline job unexpectedly carries shared-cache stats %+v", inline1.stats)
+	}
+
+	var rs service.RunStatus
+	if code := getJSON(t, ts.URL+"/v1/runs/"+created.ID, &rs); code != http.StatusOK {
+		t.Fatalf("GET run status: %d", code)
+	}
+	if rs.CacheHits == 0 || rs.CacheMisses == 0 {
+		t.Fatalf("run counters %+v, want nonzero hits and misses after two shared jobs", rs)
+	}
+	var list struct {
+		Runs []service.RunStatus `json:"runs"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/runs", &list); code != http.StatusOK {
+		t.Fatalf("GET /v1/runs: %d", code)
+	}
+	if len(list.Runs) != 1 || list.Runs[0].ID != created.ID {
+		t.Fatalf("run list %+v, want the one registered run", list.Runs)
+	}
+
+	var health struct {
+		Runs map[string]int `json:"runs"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if health.Runs["ready"] != 1 {
+		t.Fatalf("healthz runs = %v, want ready=1", health.Runs)
+	}
+}
+
+func TestDaemonRunValidationAndDelete(t *testing.T) {
+	ts := testDaemon(t, service.Config{Workers: 1})
+
+	if code := postJSON(t, ts.URL+"/v1/runs", []byte(`{"clients": [], "test": {"x": [], "y": []}, "options": {"num_classes": 2}}`), nil); code != http.StatusBadRequest {
+		t.Fatalf("empty clients: %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/runs", []byte(`{not json`), nil); code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/runs/run-doesnotexist", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown run status: %d, want 404", code)
+	}
+
+	// Jobs referencing unknown runs are 404; mixing run_id with inline
+	// data is 400; options without num_classes are fine for run-backed
+	// jobs but still rejected inline.
+	if code := postJSON(t, ts.URL+"/v1/jobs", []byte(`{"run_id": "run-doesnotexist", "options": {}}`), nil); code != http.StatusNotFound {
+		t.Fatalf("job on unknown run: %d, want 404", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/jobs", []byte(`{"run_id": "run-x", "clients": [{"x": [[1]], "y": [0]}], "test": {"x": [[1]], "y": [0]}, "options": {"num_classes": 2}}`), nil); code != http.StatusBadRequest {
+		t.Fatalf("run_id plus inline clients: %d, want 400", code)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/run-doesnotexist", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown run: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDaemonDeleteRunConflict pins the 409-while-referenced contract over
+// HTTP: a run with an in-flight job refuses deletion, then deletes
+// cleanly once the job finishes.
+func TestDaemonDeleteRunConflict(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	ts := testDaemon(t, service.Config{
+		Workers: 1,
+		ValueRun: func(ctx context.Context, tr *comfedsv.TrainedRun, opts comfedsv.Options) (*comfedsv.Report, comfedsv.EvalStats, error) {
+			select {
+			case <-ctx.Done():
+				return nil, comfedsv.EvalStats{}, ctx.Err()
+			case <-release:
+				return &comfedsv.Report{FedSV: []float64{1}, ComFedSV: []float64{1}}, comfedsv.EvalStats{Hits: 1}, nil
+			}
+		},
+	})
+	payload, _, _, _ := tinyJob(33)
+	var created struct {
+		ID string `json:"id"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/runs", payload, &created); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/runs: %d", code)
+	}
+	waitRunReady(t, ts.URL, created.ID)
+
+	jobBody := []byte(fmt.Sprintf(`{"run_id": %q, "options": {"seed": 33}}`, created.ID))
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(jobBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	del := func() int {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+created.ID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := del(); code != http.StatusConflict {
+		t.Fatalf("DELETE while job in flight: %d, want 409", code)
+	}
+
+	release <- struct{}{}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var st service.Status
+		getJSON(t, ts.URL+"/v1/jobs/"+sub.ID, &st)
+		if st.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if code := del(); code != http.StatusNoContent {
+		t.Fatalf("DELETE after jobs drained: %d, want 204", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/runs/"+created.ID, nil); code != http.StatusNotFound {
+		t.Fatalf("deleted run status: %d, want 404", code)
+	}
+}
+
 // TestDaemonParallelismOption checks the parallelism knob end to end: an
 // explicit "parallelism" field reaches the pipeline's Options, and an
 // absent one picks up the daemon's configured default.

@@ -71,8 +71,11 @@ func (s *JobStore) path(id, suffix string) (string, error) {
 	return filepath.Join(s.dir, id+suffix), nil
 }
 
-func (s *JobStore) writeAtomic(path string, write func(*os.File) error) error {
-	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+// writeAtomic writes a file under dir via temp file + fsync + rename, so a
+// crashed writer never leaves a half-written artifact behind a valid name.
+// Shared by JobStore and RunStore.
+func writeAtomic(dir, path string, write func(*os.File) error) error {
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
@@ -94,7 +97,7 @@ func (s *JobStore) writeAtomic(path string, write func(*os.File) error) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	if d, err := os.Open(s.dir); err == nil {
+	if d, err := os.Open(dir); err == nil {
 		d.Sync()
 		d.Close()
 	}
@@ -107,7 +110,7 @@ func (s *JobStore) SaveJobRun(id string, run *fl.Run) error {
 	if err != nil {
 		return err
 	}
-	return s.writeAtomic(path, func(f *os.File) error { return SaveRun(f, run) })
+	return writeAtomic(s.dir, path, func(f *os.File) error { return SaveRun(f, run) })
 }
 
 // LoadJobRun reads the training trace of job id.
@@ -133,7 +136,7 @@ func (s *JobStore) SaveJobReport(id string, report any) error {
 	if err != nil {
 		return err
 	}
-	return s.writeAtomic(path, func(f *os.File) error {
+	return writeAtomic(s.dir, path, func(f *os.File) error {
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {

@@ -1,0 +1,126 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"comfedsv/internal/dataset"
+	"comfedsv/internal/fl"
+	"comfedsv/internal/model"
+	"comfedsv/internal/rng"
+)
+
+func storeRun(t *testing.T) *fl.Run {
+	t.Helper()
+	full := dataset.GenerateImages(dataset.MNISTLikeConfig(41), 4*15+30)
+	g := rng.New(42)
+	train, test := dataset.TrainTestSplit(full, float64(30)/float64(full.Len()), g)
+	parts := dataset.PartitionIID(train, 4, g)
+	m := model.NewLogisticRegression(full.Dim(), full.NumClasses)
+	run, err := fl.TrainRun(fl.DefaultConfig(3, 2), m, parts, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestRunStoreRoundTrip(t *testing.T) {
+	store, err := NewRunStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := storeRun(t)
+
+	const id = "run-0123456789abcdef"
+	if store.HasRun(id) {
+		t.Fatal("empty store claims to hold the run")
+	}
+	if err := store.SaveRun(id, run); err != nil {
+		t.Fatal(err)
+	}
+	if !store.HasRun(id) {
+		t.Fatal("saved run not found")
+	}
+	if _, err := store.ModTime(id); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := store.LoadRun(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Final, run.Final) {
+		t.Fatal("final model diverged across the round trip")
+	}
+	if len(loaded.Rounds) != len(run.Rounds) {
+		t.Fatalf("loaded %d rounds, saved %d", len(loaded.Rounds), len(run.Rounds))
+	}
+	// The reloaded trace must evaluate identically — this is what makes a
+	// recovered shared run byte-compatible with the original.
+	if a, b := run.Utility(1, []int{0, 2}), loaded.Utility(1, []int{0, 2}); a != b {
+		t.Fatalf("utility diverged across the round trip: %v vs %v", a, b)
+	}
+
+	ids, err := store.ListRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != id {
+		t.Fatalf("ListRuns = %v, want [%s]", ids, id)
+	}
+
+	if err := store.DeleteRun(id); err != nil {
+		t.Fatal(err)
+	}
+	if store.HasRun(id) {
+		t.Fatal("deleted run still present")
+	}
+	if err := store.DeleteRun(id); err != nil {
+		t.Fatalf("double delete must be a no-op, got %v", err)
+	}
+}
+
+func TestRunStoreRejectsInvalidIDs(t *testing.T) {
+	store, err := NewRunStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := storeRun(t)
+	for _, id := range []string{"", ".hidden", "a/b", "x" + strings.Repeat("y", 200)} {
+		if err := store.SaveRun(id, run); err == nil {
+			t.Fatalf("SaveRun accepted invalid id %q", id)
+		}
+		if _, err := store.LoadRun(id); err == nil {
+			t.Fatalf("LoadRun accepted invalid id %q", id)
+		}
+		if store.HasRun(id) {
+			t.Fatalf("HasRun true for invalid id %q", id)
+		}
+	}
+}
+
+func TestRunStoreListSkipsForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewRunStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SaveRun("run-real", storeRun(t)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"notes.txt", ".tmp-123", "x.report.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := store.ListRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "run-real" {
+		t.Fatalf("ListRuns = %v, want only run-real", ids)
+	}
+}

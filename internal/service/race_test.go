@@ -1,0 +1,203 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"comfedsv"
+)
+
+// TestConcurrentCreateRunTrainsExactlyOnce hammers the registry's
+// in-flight dedup (run with -race): many goroutines registering the same
+// spec concurrently must converge on one run ID and exactly one training.
+func TestConcurrentCreateRunTrainsExactlyOnce(t *testing.T) {
+	var trainings atomic.Int64
+	m := newManager(t, Config{
+		Workers: 2,
+		Train: func(ctx context.Context, clients []comfedsv.Client, test comfedsv.Client, opts comfedsv.Options) (*comfedsv.TrainedRun, error) {
+			trainings.Add(1)
+			return comfedsv.TrainCtx(ctx, clients, test, opts)
+		},
+	})
+
+	const goroutines = 16
+	ids := make([]string, goroutines)
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			start.Wait() // release all registrations at once
+			st, _, err := m.CreateRun(tinySpec(21))
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+				return
+			}
+			ids[g] = st.ID
+		}(g)
+	}
+	start.Done()
+	wg.Wait()
+
+	for g := 1; g < goroutines; g++ {
+		if ids[g] != ids[0] {
+			t.Fatalf("goroutine %d got run %q, goroutine 0 got %q", g, ids[g], ids[0])
+		}
+	}
+	if got := waitRunTerminal(t, m, ids[0]); got.State != RunReady {
+		t.Fatalf("run finished %s (%s)", got.State, got.Error)
+	}
+	if n := trainings.Load(); n != 1 {
+		t.Fatalf("spec trained %d times, want exactly once", n)
+	}
+}
+
+// TestConcurrentJobsShareOneRun hammers one shared run and its evaluator
+// from many concurrent real valuations (run with -race): no torn cache
+// state, every report byte-identical, and the whole batch pays the
+// utility-call bill once.
+func TestConcurrentJobsShareOneRun(t *testing.T) {
+	m := newManager(t, Config{Workers: 4})
+	st, _, err := m.CreateRun(tinySpec(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitRunTerminal(t, m, st.ID); got.State != RunReady {
+		t.Fatalf("run finished %s (%s)", got.State, got.Error)
+	}
+
+	opts := tinyRequest(23).Options
+	opts.Parallelism = 2 // fan out inside each job too
+	const jobs = 8
+	ids := make([]string, jobs)
+	for i := range ids {
+		id, err := m.Submit(Request{RunID: st.ID, Options: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	var first []byte
+	totalMisses := 0
+	for i, id := range ids {
+		if s := waitTerminal(t, m, id); s.State != StateDone {
+			t.Fatalf("job %d finished %s (%s)", i, s.State, s.Error)
+		}
+		rep, err := m.Report(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = body
+		} else if !bytes.Equal(body, first) {
+			t.Fatalf("job %d report differs from job 0:\n%s\nvs\n%s", i, body, first)
+		}
+		s, err := m.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.CacheStats == nil {
+			t.Fatalf("job %d missing cache stats", i)
+		}
+		if s.CacheStats.Hits+s.CacheStats.Misses != rep.UtilityCalls {
+			t.Fatalf("job %d ledger %+v does not sum to its %d utility calls", i, s.CacheStats, rep.UtilityCalls)
+		}
+		totalMisses += s.CacheStats.Misses
+	}
+	// The shared cache means the batch's distinct evaluations equal one
+	// job's, no matter how the concurrent first requests interleaved.
+	var one comfedsv.Report
+	if err := json.Unmarshal(first, &one); err != nil {
+		t.Fatal(err)
+	}
+	if totalMisses != one.UtilityCalls {
+		t.Fatalf("batch paid %d evaluations, want exactly one job's bill of %d", totalMisses, one.UtilityCalls)
+	}
+	rs, err := m.RunStatus(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.CacheMisses != one.UtilityCalls {
+		t.Fatalf("run counter says %d misses, want %d", rs.CacheMisses, one.UtilityCalls)
+	}
+}
+
+// TestSnapshotReadsRaceFreeUnderLoad is the targeted torn-read check for
+// the Manager's snapshot paths (run with -race): Status, List, Counts,
+// Report, RunStatus, and Runs are hammered while jobs run, stream
+// progress updates, finish, and get cancelled — any unsynchronized read
+// of job progress/state or run counters shows up as a race report.
+func TestSnapshotReadsRaceFreeUnderLoad(t *testing.T) {
+	m := newManager(t, Config{Workers: 4})
+	st, _, err := m.CreateRun(tinySpec(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const jobs = 6
+	ids := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		var id string
+		var err error
+		if i%2 == 0 {
+			id, err = m.Submit(Request{RunID: st.ID, Options: tinyRequest(25).Options})
+		} else {
+			id, err = m.Submit(tinyRequest(25))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.List()
+				m.Counts()
+				m.Runs()
+				m.RunCounts()
+				for _, id := range ids {
+					m.Status(id)
+					m.Report(id)
+				}
+				m.RunStatus(st.ID)
+			}
+		}()
+	}
+	// One goroutine cancels the last job mid-flight to race the terminal
+	// transition against the snapshot readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Cancel(ids[len(ids)-1])
+	}()
+
+	for _, id := range ids[:len(ids)-1] {
+		if s := waitTerminal(t, m, id); s.State != StateDone {
+			t.Fatalf("job finished %s (%s)", s.State, s.Error)
+		}
+	}
+	waitTerminal(t, m, ids[len(ids)-1])
+	close(stop)
+	wg.Wait()
+}

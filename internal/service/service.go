@@ -37,8 +37,14 @@ const (
 // Terminal reports whether no further transitions can happen.
 func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
 
-// Request is one valuation job submission.
+// Request is one valuation job submission. Exactly one of two forms is
+// valid: inline training (Clients + Test set, RunID empty) trains a
+// private trace for this job alone; run-backed (RunID set, Clients/Test
+// empty) values against a shared run registered with CreateRun, reusing
+// its trace and evaluator cache. Options carries the valuation settings in
+// both forms; in the run-backed form its training fields are ignored.
 type Request struct {
+	RunID   string
 	Clients []comfedsv.Client
 	Test    comfedsv.Client
 	Options comfedsv.Options
@@ -54,6 +60,14 @@ type Status struct {
 	// non-fatal warning (the report computed but could not be persisted,
 	// so it will not survive a restart).
 	Error string `json:"error,omitempty"`
+
+	// RunID is the shared training run this job values against; empty for
+	// jobs with inline training.
+	RunID string `json:"run_id,omitempty"`
+	// CacheStats, on a done run-backed job, splits the job's distinct
+	// utility cells into shared-cache hits (amortized by earlier jobs over
+	// the same run) and fresh test-loss evaluations.
+	CacheStats *comfedsv.EvalStats `json:"cache_stats,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -82,6 +96,10 @@ type Config struct {
 	// Store, if non-nil, receives every finished report, and its existing
 	// reports are exposed as done jobs at startup.
 	Store *persist.JobStore
+	// RunStore, if non-nil, persists shared training runs; its existing
+	// runs are exposed as ready runs at startup (traces load lazily from
+	// disk on first use).
+	RunStore *persist.RunStore
 	// DefaultParallelism is the Options.Parallelism applied to submissions
 	// that leave it 0: the per-job CPU budget for the valuation hot path.
 	// 0 means a fair share of the machine across the worker pool —
@@ -92,6 +110,12 @@ type Config struct {
 	// Value runs one valuation. Nil means comfedsv.ValueCtx; tests and
 	// custom pipelines may substitute their own.
 	Value func(ctx context.Context, clients []comfedsv.Client, test comfedsv.Client, opts comfedsv.Options) (*comfedsv.Report, error)
+	// Train trains one shared run for the registry. Nil means
+	// comfedsv.TrainCtx.
+	Train func(ctx context.Context, clients []comfedsv.Client, test comfedsv.Client, opts comfedsv.Options) (*comfedsv.TrainedRun, error)
+	// ValueRun runs one valuation against a shared run. Nil means
+	// comfedsv.ValueRunCtx.
+	ValueRun func(ctx context.Context, tr *comfedsv.TrainedRun, opts comfedsv.Options) (*comfedsv.Report, comfedsv.EvalStats, error)
 }
 
 type job struct {
@@ -101,6 +125,14 @@ type job struct {
 	progress comfedsv.Progress
 	err      error
 	report   *comfedsv.Report
+
+	// runID mirrors req.RunID but survives the terminal-state release of
+	// the request payload; runReleased guards the run's refcount against
+	// double release. cacheStats is recorded when a run-backed valuation
+	// completes.
+	runID       string
+	runReleased bool
+	cacheStats  *comfedsv.EvalStats
 
 	cancel context.CancelFunc // non-nil while running
 
@@ -114,16 +146,19 @@ type job struct {
 // queued job frees its slot immediately and an expired Shutdown can abort
 // the backlog instead of draining it.
 type Manager struct {
-	cfg Config
-	wg  sync.WaitGroup
+	cfg   Config
+	wg    sync.WaitGroup // valuation workers
+	runWG sync.WaitGroup // shared-run training goroutines
 
-	mu      sync.Mutex
-	cond    *sync.Cond // signaled on enqueue, close, and abort
-	pending []*job     // FIFO of queued jobs
-	jobs    map[string]*job
-	order   []string
-	closed  bool
-	aborted bool
+	mu       sync.Mutex
+	cond     *sync.Cond // signaled on enqueue, close, and abort
+	pending  []*job     // FIFO of queued jobs
+	jobs     map[string]*job
+	order    []string
+	runs     map[string]*runEntry
+	runOrder []string
+	closed   bool
+	aborted  bool
 }
 
 // NewManager starts a manager and its worker pool. If cfg.Store holds
@@ -145,11 +180,37 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.Value == nil {
 		cfg.Value = comfedsv.ValueCtx
 	}
+	if cfg.Train == nil {
+		cfg.Train = comfedsv.TrainCtx
+	}
+	if cfg.ValueRun == nil {
+		cfg.ValueRun = comfedsv.ValueRunCtx
+	}
 	m := &Manager{
 		cfg:  cfg,
 		jobs: make(map[string]*job),
+		runs: make(map[string]*runEntry),
 	}
 	m.cond = sync.NewCond(&m.mu)
+	if cfg.RunStore != nil {
+		ids, err := cfg.RunStore.ListRuns()
+		if err != nil {
+			return nil, fmt.Errorf("service: scanning run store: %w", err)
+		}
+		for _, id := range ids {
+			done := make(chan struct{})
+			close(done)
+			e := &runEntry{id: id, state: RunReady, done: done, persisted: true}
+			// The original timestamps are gone with the old process; the
+			// trace file's mtime is the best available stand-in.
+			if mtime, err := cfg.RunStore.ModTime(id); err == nil {
+				e.created = mtime
+				e.trained = mtime
+			}
+			m.runs[id] = e
+			m.runOrder = append(m.runOrder, id)
+		}
+	}
 	if cfg.Store != nil {
 		ids, err := cfg.Store.ListJobReports()
 		if err != nil {
@@ -181,13 +242,17 @@ func (m *Manager) Workers() int { return m.cfg.Workers }
 // that don't set their own.
 func (m *Manager) DefaultParallelism() int { return m.cfg.DefaultParallelism }
 
-// Submit validates nothing beyond queue capacity — the pipeline itself
-// rejects malformed requests when the job runs — and returns the new job's
-// ID, or ErrQueueFull / ErrShutdown.
+// Submit validates run references and queue capacity — the pipeline itself
+// rejects otherwise malformed requests when the job runs — and returns the
+// new job's ID, or ErrQueueFull / ErrShutdown / ErrRunNotFound. A
+// run-backed submission pins its run (DeleteRun refuses until the job is
+// terminal); a job may reference a run that is still training and will
+// wait for it.
 func (m *Manager) Submit(req Request) (string, error) {
 	j := &job{
 		id:        newJobID(),
 		req:       req,
+		runID:     req.RunID,
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
@@ -198,6 +263,16 @@ func (m *Manager) Submit(req Request) (string, error) {
 	}
 	if len(m.pending) >= m.cfg.QueueDepth {
 		return "", ErrQueueFull
+	}
+	if req.RunID != "" {
+		if len(req.Clients) > 0 || len(req.Test.X) > 0 || len(req.Test.Y) > 0 {
+			return "", errors.New("service: request has both run_id and inline clients/test")
+		}
+		e, ok := m.runs[req.RunID]
+		if !ok {
+			return "", fmt.Errorf("%w: %s", ErrRunNotFound, req.RunID)
+		}
+		e.refs++
 	}
 	m.pending = append(m.pending, j)
 	m.jobs[j.id] = j
@@ -307,20 +382,24 @@ func (m *Manager) Cancel(id string) error {
 	return nil
 }
 
-// failLocked moves a non-terminal job to StateFailed and releases its
+// failLocked moves a non-terminal job to StateFailed, releases its
 // request payload (client datasets can be large; only the report matters
-// after a terminal state). Callers hold m.mu.
+// after a terminal state), and drops its shared-run reference. Callers
+// hold m.mu.
 func (m *Manager) failLocked(j *job, err error) {
 	j.state = StateFailed
 	j.err = err
 	j.finished = time.Now()
 	j.req = Request{}
+	m.releaseRunLocked(j)
 }
 
-// Shutdown stops accepting submissions, drains queued jobs, and waits for
-// workers to finish. If the context expires first, the remaining backlog
-// is failed with ErrCancelled, running jobs are cancelled, and Shutdown
-// returns the context's error once the pool exits.
+// Shutdown stops accepting submissions and run registrations, drains
+// queued jobs (including ones waiting for a run still in training), and
+// waits for workers and training goroutines to finish. If the context
+// expires first, the remaining backlog is failed with ErrCancelled,
+// running jobs and in-flight trainings are cancelled, and Shutdown returns
+// the context's error once both pools exit.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if !m.closed {
@@ -332,6 +411,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		m.wg.Wait()
+		m.runWG.Wait()
 		close(done)
 	}()
 	select {
@@ -349,6 +429,11 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 				j.cancel()
 			}
 		}
+		for _, e := range m.runs {
+			if e.state == RunTraining && e.cancelTrain != nil {
+				e.cancelTrain()
+			}
+		}
 		m.cond.Broadcast()
 		m.mu.Unlock()
 		<-done
@@ -360,18 +445,41 @@ func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
 		m.mu.Lock()
-		for !m.closed && !m.aborted && len(m.pending) == 0 {
+		j := m.popEligibleLocked()
+		for j == nil {
+			if len(m.pending) == 0 && (m.closed || m.aborted) {
+				m.mu.Unlock()
+				return
+			}
+			// Nothing runnable: either the queue is empty, or every queued
+			// job references a run still in training (its completion
+			// broadcasts). Either way the worker must not spin or park on
+			// one job — other submissions stay servable.
 			m.cond.Wait()
+			j = m.popEligibleLocked()
 		}
-		if len(m.pending) == 0 {
-			m.mu.Unlock()
-			return
-		}
-		j := m.pending[0]
-		m.pending = m.pending[1:]
 		m.mu.Unlock()
 		m.runJob(j)
 	}
+}
+
+// popEligibleLocked removes and returns the first queued job that can make
+// progress right now. Jobs referencing a run that is still training are
+// skipped — they stay queued (not parked on a worker) so the pool keeps
+// serving unrelated jobs during a long training; trainRun's completion
+// broadcast re-examines them. During an abort everything is eligible: the
+// runJob preamble fails aborted jobs immediately. Callers hold m.mu.
+func (m *Manager) popEligibleLocked() *job {
+	for i, j := range m.pending {
+		if j.runID != "" && !m.aborted {
+			if e, ok := m.runs[j.runID]; ok && e.state == RunTraining {
+				continue
+			}
+		}
+		m.pending = append(m.pending[:i], m.pending[i+1:]...)
+		return j
+	}
+	return nil
 }
 
 func (m *Manager) runJob(j *job) {
@@ -419,11 +527,12 @@ func (m *Manager) runJob(j *job) {
 	j.err = persistErr
 	j.finished = time.Now()
 	j.req = Request{}
+	m.releaseRunLocked(j)
 }
 
 // value runs one valuation, converting a panic in the pipeline (or in a
-// substituted Config.Value) into a job failure: one poisoned job must not
-// take down the daemon and every other job with it.
+// substituted Config.Value / Config.ValueRun) into a job failure: one
+// poisoned job must not take down the daemon and every other job with it.
 func (m *Manager) value(ctx context.Context, j *job) (rep *comfedsv.Report, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -443,7 +552,33 @@ func (m *Manager) value(ctx context.Context, j *job) (rep *comfedsv.Report, err 
 			prev(p)
 		}
 	}
-	return m.cfg.Value(ctx, j.req.Clients, j.req.Test, opts)
+	if j.runID == "" {
+		return m.cfg.Value(ctx, j.req.Clients, j.req.Test, opts)
+	}
+
+	// Run-backed job: wait for the shared run (it may still be training —
+	// a cancelled job stops waiting immediately), then value against its
+	// trace and shared cache.
+	m.mu.Lock()
+	e := m.runs[j.runID] // pinned by the submit-time refcount
+	m.mu.Unlock()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-e.done:
+	}
+	tr, err := m.runTrained(e)
+	if err != nil {
+		return nil, fmt.Errorf("service: run %s: %w", j.runID, err)
+	}
+	rep, stats, err := m.cfg.ValueRun(ctx, tr, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	j.cacheStats = &stats
+	m.mu.Unlock()
+	return rep, nil
 }
 
 // snapshot must be called with m.mu held.
@@ -452,10 +587,15 @@ func (j *job) snapshot() Status {
 		ID:          j.id,
 		State:       j.state,
 		Progress:    j.progress,
+		RunID:       j.runID,
 		SubmittedAt: j.submitted,
 	}
 	if j.err != nil {
 		s.Error = j.err.Error()
+	}
+	if j.cacheStats != nil {
+		cs := *j.cacheStats
+		s.CacheStats = &cs
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -15,7 +15,7 @@ import (
 // evaluated on the *fully observed* utility matrix, i.e. the exact Shapley
 // value of the summed per-round utility U(S) = Σ_t U_t(S). Feasible only
 // for small N (it evaluates all 2^N−1 coalitions in every round).
-func GroundTruth(e *utility.Evaluator) []float64 {
+func GroundTruth(e utility.Source) []float64 {
 	n := e.Run().NumClients()
 	full := utility.FullMatrix(e)
 	_, cols := full.Dims()
@@ -43,7 +43,7 @@ type ExactResult struct {
 // observe all subsets of the selected clients per round, complete the full
 // T×(2^N−1) utility matrix (problem 9), and take the exact Shapley value of
 // the completed, per-round-summed utility. Feasible for N ≤ ~14.
-func ComFedSVExact(e *utility.Evaluator, cfg mc.Config) (*ExactResult, error) {
+func ComFedSVExact(e utility.Source, cfg mc.Config) (*ExactResult, error) {
 	return ComFedSVExactCtx(context.Background(), e, cfg)
 }
 
@@ -51,7 +51,7 @@ func ComFedSVExact(e *utility.Evaluator, cfg mc.Config) (*ExactResult, error) {
 // at every observation-round boundary and between pipeline steps. The
 // matrix-completion solve itself is not interruptible but is bounded by
 // cfg.MaxIter.
-func ComFedSVExactCtx(ctx context.Context, e *utility.Evaluator, cfg mc.Config) (*ExactResult, error) {
+func ComFedSVExactCtx(ctx context.Context, e utility.Source, cfg mc.Config) (*ExactResult, error) {
 	n := e.Run().NumClients()
 	if n > 14 {
 		return nil, fmt.Errorf("shapley: exact ComFedSV over 2^%d columns is infeasible; use MonteCarlo", n)
@@ -138,7 +138,7 @@ type MonteCarloResult struct {
 // utilities of permutation prefixes contained in each round's selection,
 // solve the reduced completion problem (13), and estimate ComFedSV via the
 // permutation form (12).
-func MonteCarlo(e *utility.Evaluator, cfg MonteCarloConfig) (*MonteCarloResult, error) {
+func MonteCarlo(e utility.Source, cfg MonteCarloConfig) (*MonteCarloResult, error) {
 	return MonteCarloCtx(context.Background(), e, cfg)
 }
 
@@ -147,7 +147,7 @@ func MonteCarlo(e *utility.Evaluator, cfg MonteCarloConfig) (*MonteCarloResult, 
 // pipeline steps, and per permutation during setup and estimation. The
 // matrix-completion solve itself is not interruptible but is bounded by
 // cfg.Completion.MaxIter.
-func MonteCarloCtx(ctx context.Context, e *utility.Evaluator, cfg MonteCarloConfig) (*MonteCarloResult, error) {
+func MonteCarloCtx(ctx context.Context, e utility.Source, cfg MonteCarloConfig) (*MonteCarloResult, error) {
 	if cfg.Samples <= 0 {
 		return nil, fmt.Errorf("shapley: non-positive Monte-Carlo sample count %d", cfg.Samples)
 	}

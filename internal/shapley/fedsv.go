@@ -13,7 +13,7 @@ import (
 // in every round, the exact Shapley value over the *selected* clients only;
 // unselected clients receive zero for that round; the final value is the
 // per-round sum. Exact per-round enumeration requires |I_t| ≤ 20.
-func FedSV(e *utility.Evaluator) []float64 {
+func FedSV(e utility.Source) []float64 {
 	values, err := FedSVCtx(context.Background(), e)
 	if err != nil {
 		// The background context never cancels, so this is the
@@ -29,7 +29,7 @@ func FedSV(e *utility.Evaluator) []float64 {
 // FedSV it returns an error instead of panicking when a round's selection
 // is too large to enumerate, so services can fail one job rather than the
 // process.
-func FedSVCtx(ctx context.Context, e *utility.Evaluator) ([]float64, error) {
+func FedSVCtx(ctx context.Context, e utility.Source) ([]float64, error) {
 	n := e.Run().NumClients()
 	values := make([]float64, n)
 	for t, rd := range e.Run().Rounds {
@@ -84,7 +84,7 @@ func FedSVCtx(ctx context.Context, e *utility.Evaluator) ([]float64, error) {
 // selected set per round — the estimator the paper's Section VII-D costs at
 // O(T·K²·log K) utility calls. Required when |I_t| is too large for exact
 // enumeration (e.g. the 100-client noisy-label experiment).
-func FedSVMonteCarlo(e *utility.Evaluator, samples int, seed int64) []float64 {
+func FedSVMonteCarlo(e utility.Source, samples int, seed int64) []float64 {
 	if samples <= 0 {
 		panic(fmt.Sprintf("shapley: non-positive sample count %d", samples))
 	}

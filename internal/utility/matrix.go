@@ -25,6 +25,7 @@ import (
 type Evaluator struct {
 	run    *fl.Run
 	calls  atomic.Int64
+	hits   atomic.Int64
 	shards [evalShards]evalShard
 }
 
@@ -68,21 +69,38 @@ func NewEvaluator(run *fl.Run) *Evaluator {
 // Run returns the underlying federated run.
 func (e *Evaluator) Run() *fl.Run { return e.run }
 
-// Calls returns the number of distinct utility evaluations performed.
+// Calls returns the number of distinct utility evaluations performed — the
+// cache-miss count under the Section VII-D cost model.
 func (e *Evaluator) Calls() int { return int(e.calls.Load()) }
+
+// Hits returns the number of lookups served from the memo table (or by
+// waiting on another goroutine's in-flight evaluation) instead of paying
+// for a test-loss evaluation. Together with Calls it is the cache
+// hit/miss ledger a shared evaluator exposes per training run.
+func (e *Evaluator) Hits() int { return int(e.hits.Load()) }
 
 // Utility returns U_t(S). The empty coalition has utility 0 by convention.
 func (e *Evaluator) Utility(t int, s Set) float64 {
 	if s.IsEmpty() {
 		return 0
 	}
-	ck := cellKey{t: t, set: s.cacheKey()}
+	v, _ := e.utility(t, s, cellKey{t: t, set: s.cacheKey()})
+	return v
+}
+
+// utility is the cache-aware core of Utility. It additionally reports
+// whether this call performed the underlying test-loss evaluation (a cache
+// miss) — the signal per-job Sessions use to split their lookup counts into
+// hits and misses against the shared table. Callers pass the precomputed
+// cellKey so Sessions can reuse it for their own bookkeeping.
+func (e *Evaluator) utility(t int, s Set, ck cellKey) (float64, bool) {
 	sh := &e.shards[ck.shard()]
 	sh.mu.Lock()
 	for {
 		if v, ok := sh.cache[ck]; ok {
 			sh.mu.Unlock()
-			return v
+			e.hits.Add(1)
+			return v, false
 		}
 		done, ok := sh.inflight[ck]
 		if !ok {
@@ -119,7 +137,7 @@ func (e *Evaluator) Utility(t int, s Set) float64 {
 	e.calls.Add(1)
 	completed = true
 	close(done)
-	return v
+	return v, true
 }
 
 // UtilityBatchCtx evaluates the given cells concurrently on a bounded
@@ -226,12 +244,12 @@ func (st *Store) Density() float64 {
 // Column index is the subset bitmask; column 0 (empty set) is all zeros.
 // This is the ground-truth object of Example 2 / Fig. 2 and of the paper's
 // "ground-truth" baseline metric.
-func FullMatrix(e *Evaluator) *mat.Dense {
-	n := e.run.NumClients()
+func FullMatrix(e Source) *mat.Dense {
+	n := e.Run().NumClients()
 	if n > 20 {
 		panic(fmt.Sprintf("utility: full matrix for %d clients is infeasible", n))
 	}
-	t := len(e.run.Rounds)
+	t := len(e.Run().Rounds)
 	cols := 1 << uint(n)
 	u := mat.NewDense(t, cols)
 	for round := 0; round < t; round++ {
@@ -247,7 +265,7 @@ func FullMatrix(e *Evaluator) *mat.Dense {
 // clients in every round — the "observed" region {U_{t,S} : S ⊆ I_t} that
 // the exact (non-sampled) formulation (9) uses. Only feasible for small
 // selection sizes.
-func ObserveSelected(e *Evaluator, st *Store) {
+func ObserveSelected(e Source, st *Store) {
 	if err := ObserveSelectedCtx(context.Background(), e, st); err != nil {
 		// The background context never cancels, so this is the
 		// infeasible-selection error — panic to preserve the historical
@@ -260,8 +278,8 @@ func ObserveSelected(e *Evaluator, st *Store) {
 // checked before every utility evaluation (a single round costs up to
 // 2^|I_t| of them). Unlike ObserveSelected it returns an error instead of
 // panicking for infeasible selection sizes.
-func ObserveSelectedCtx(ctx context.Context, e *Evaluator, st *Store) error {
-	for t, rd := range e.run.Rounds {
+func ObserveSelectedCtx(ctx context.Context, e Source, st *Store) error {
+	for t, rd := range e.Run().Rounds {
 		sel := rd.Selected
 		k := len(sel)
 		if k > 20 {
@@ -271,7 +289,7 @@ func ObserveSelectedCtx(ctx context.Context, e *Evaluator, st *Store) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			s := NewSet(e.run.NumClients())
+			s := NewSet(e.Run().NumClients())
 			for b := 0; b < k; b++ {
 				if mask&(1<<uint(b)) != 0 {
 					s.Add(sel[b])

@@ -1,0 +1,161 @@
+package utility
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestSessionMatchesFreshEvaluator pins the accounting contract shared-run
+// jobs depend on: a Session over a warm shared evaluator returns the same
+// values as a fresh evaluator AND reports the same Calls count (the
+// distinct cells it requested), with the warm cells attributed to hits.
+func TestSessionMatchesFreshEvaluator(t *testing.T) {
+	run := tinyRun(t, 5, 4, 2)
+	shared := NewEvaluator(run)
+
+	var cells []Cell
+	for round := 0; round < 4; round++ {
+		for mask := uint64(1); mask < 1<<5; mask++ {
+			cells = append(cells, Cell{Round: round, Subset: FromMask(5, mask)})
+		}
+	}
+	// Duplicates and the empty set exercise the per-session dedup.
+	cells = append(cells, cells[5], cells[40], Cell{Round: 2, Subset: NewSet(5)})
+
+	fresh := NewEvaluator(run)
+	want := make([]float64, len(cells))
+	for i, c := range cells {
+		want[i] = fresh.Utility(c.Round, c.Subset)
+	}
+
+	// First session: the shared cache is cold, so every distinct cell is a
+	// miss.
+	s1 := shared.NewSession()
+	for i, c := range cells {
+		if got := s1.Utility(c.Round, c.Subset); got != want[i] {
+			t.Fatalf("session 1 cell %d: %v, fresh evaluator %v", i, got, want[i])
+		}
+	}
+	if s1.Calls() != fresh.Calls() {
+		t.Fatalf("session 1 Calls = %d, fresh evaluator made %d", s1.Calls(), fresh.Calls())
+	}
+	if s1.Hits() != 0 || s1.Misses() != s1.Calls() {
+		t.Fatalf("cold session: hits %d misses %d calls %d, want all misses", s1.Hits(), s1.Misses(), s1.Calls())
+	}
+
+	// Second session over the same evaluator: identical values, identical
+	// Calls, but now every cell is a hit and the shared evaluator pays for
+	// nothing new.
+	before := shared.Calls()
+	s2 := shared.NewSession()
+	for i, c := range cells {
+		if got := s2.Utility(c.Round, c.Subset); got != want[i] {
+			t.Fatalf("session 2 cell %d: %v, fresh evaluator %v", i, got, want[i])
+		}
+	}
+	if s2.Calls() != s1.Calls() {
+		t.Fatalf("session 2 Calls = %d, session 1 made %d", s2.Calls(), s1.Calls())
+	}
+	if s2.Misses() != 0 || s2.Hits() != s2.Calls() {
+		t.Fatalf("warm session: hits %d misses %d calls %d, want all hits", s2.Hits(), s2.Misses(), s2.Calls())
+	}
+	if shared.Calls() != before {
+		t.Fatalf("warm session grew the shared evaluation count %d -> %d", before, shared.Calls())
+	}
+	if shared.Hits() == 0 {
+		t.Fatal("shared evaluator recorded no hits after a warm session")
+	}
+}
+
+// TestSessionBatchMatchesSerial checks Session.UtilityBatchCtx against
+// one-by-one evaluation for several worker counts.
+func TestSessionBatchMatchesSerial(t *testing.T) {
+	run := tinyRun(t, 5, 3, 2)
+	fresh := NewEvaluator(run)
+
+	var cells []Cell
+	for round := 0; round < 3; round++ {
+		for mask := uint64(1); mask < 1<<5; mask++ {
+			cells = append(cells, Cell{Round: round, Subset: FromMask(5, mask)})
+		}
+	}
+	cells = append(cells, cells[7], Cell{Round: 0, Subset: NewSet(5)})
+	want := make([]float64, len(cells))
+	for i, c := range cells {
+		want[i] = fresh.Utility(c.Round, c.Subset)
+	}
+
+	shared := NewEvaluator(run)
+	for _, workers := range []int{0, 1, 4, 64} {
+		s := shared.NewSession()
+		got, err := s.UtilityBatchCtx(context.Background(), cells, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d cell %d: batch %v, serial %v", workers, i, got[i], want[i])
+			}
+		}
+		if s.Calls() != fresh.Calls() {
+			t.Fatalf("workers=%d: session Calls = %d, fresh evaluator made %d", workers, s.Calls(), fresh.Calls())
+		}
+	}
+}
+
+// TestSessionsConcurrent hammers one shared evaluator from many concurrent
+// sessions (run with -race): the model for N valuation jobs sharing one
+// run. Every session must see serial-identical values and report the exact
+// per-session distinct-cell count, and the shared evaluator must evaluate
+// each cell at most once.
+func TestSessionsConcurrent(t *testing.T) {
+	run := tinyRun(t, 6, 3, 2)
+	shared := NewEvaluator(run)
+	serial := NewEvaluator(run)
+
+	var cells []Cell
+	for round := 0; round < 3; round++ {
+		for mask := uint64(1); mask < 1<<6; mask++ {
+			cells = append(cells, Cell{Round: round, Subset: FromMask(6, mask)})
+		}
+	}
+	want := make([]float64, len(cells))
+	for i, c := range cells {
+		want[i] = serial.Utility(c.Round, c.Subset)
+	}
+
+	const sessions = 8
+	var wg sync.WaitGroup
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := shared.NewSession()
+			// Each session additionally fans out internally, like the
+			// Monte-Carlo observation stage does.
+			got, err := s.UtilityBatchCtx(context.Background(), cells, 4)
+			if err != nil {
+				t.Errorf("session %d: %v", g, err)
+				return
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("session %d cell %d: %v, want %v", g, i, got[i], want[i])
+					return
+				}
+			}
+			if s.Calls() != len(cells) {
+				t.Errorf("session %d Calls = %d, want %d", g, s.Calls(), len(cells))
+			}
+			if s.Hits()+s.Misses() != s.Calls() {
+				t.Errorf("session %d ledger hits %d + misses %d != calls %d", g, s.Hits(), s.Misses(), s.Calls())
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if shared.Calls() != len(cells) {
+		t.Fatalf("shared evaluator Calls = %d, want exactly %d (each cell evaluated once)", shared.Calls(), len(cells))
+	}
+}

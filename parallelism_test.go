@@ -50,3 +50,95 @@ func TestReportByteIdenticalAcrossParallelism(t *testing.T) {
 		t.Fatalf("exact pipeline: parallelism=3 report differs from parallelism=1:\n%s\nvs\n%s", got, want)
 	}
 }
+
+// TestRunBackedReportByteIdenticalAcrossParallelism is the shared-run
+// determinism guarantee: valuing against a precomputed TrainedRun must
+// serialize to the byte-identical report as the inline train-and-value
+// path, for every Parallelism setting, even though every valuation after
+// the first is served almost entirely from the shared evaluator cache.
+func TestRunBackedReportByteIdenticalAcrossParallelism(t *testing.T) {
+	clients, test := makeClients(t, 6, 20, 40, 307)
+	base := DefaultOptions(10)
+	base.Rounds = 5
+	base.ClientsPerRound = 2
+	base.Model = MLP
+	base.HiddenUnits = 6
+	base.LearningRate = 0.1
+	base.MonteCarloSamples = 25
+
+	inline := func(parallelism int) []byte {
+		opts := base
+		opts.Parallelism = parallelism
+		rep, err := ValueCtx(context.Background(), clients, test, opts)
+		if err != nil {
+			t.Fatalf("inline parallelism=%d: %v", parallelism, err)
+		}
+		body, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	tr, err := TrainCtx(context.Background(), clients, test, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := func(parallelism int) ([]byte, EvalStats) {
+		opts := base
+		opts.Parallelism = parallelism
+		rep, stats, err := ValueRunCtx(context.Background(), tr, opts)
+		if err != nil {
+			t.Fatalf("run-backed parallelism=%d: %v", parallelism, err)
+		}
+		body, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body, stats
+	}
+
+	want := inline(1)
+	for i, p := range []int{1, 4, 8} {
+		got, stats := shared(p)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("run-backed parallelism=%d report differs from inline parallelism=1:\n%s\nvs\n%s", p, got, want)
+		}
+		if stats.Hits+stats.Misses == 0 {
+			t.Fatalf("run-backed parallelism=%d recorded no cache traffic", p)
+		}
+		// Every valuation after the first must be answered entirely from
+		// the shared cache — and still produce the identical bytes.
+		if i > 0 && stats.Misses != 0 {
+			t.Fatalf("run-backed parallelism=%d paid %d fresh evaluations on a warm cache", p, stats.Misses)
+		}
+	}
+
+	// The exact (non-sampled) pipeline must hold the same guarantee, with
+	// a different valuation setting sharing the same trace.
+	exact := base
+	exact.MonteCarloSamples = 0
+	rep, err := ValueCtx(context.Background(), clients, test, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExactBody, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 4, 8} {
+		o := exact
+		o.Parallelism = p
+		got, _, err := ValueRunCtx(context.Background(), tr, o)
+		if err != nil {
+			t.Fatalf("exact run-backed parallelism=%d: %v", p, err)
+		}
+		body, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantExactBody, body) {
+			t.Fatalf("exact run-backed parallelism=%d report differs from inline:\n%s\nvs\n%s", p, body, wantExactBody)
+		}
+	}
+}
