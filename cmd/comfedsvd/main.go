@@ -1,13 +1,18 @@
 // Command comfedsvd serves ComFedSV data valuation as a long-running HTTP
 // daemon: clients POST valuation jobs (client datasets + options) to
-// /v1/jobs, poll status and progress, and fetch the finished FedSV /
-// ComFedSV report. Jobs run asynchronously on a bounded worker pool;
-// finished reports are optionally persisted to disk so they survive
-// restarts. Training runs can be registered once as shared /v1/runs
-// resources (content-addressed, optionally persisted via -runs-dir) and
-// referenced by any number of jobs through "run_id", which amortizes the
-// training trace and the test-loss evaluator cache across jobs without
-// changing a byte of any report. See internal/api for the route table and
+// /v1/jobs, poll status and per-stage/per-shard progress, and fetch the
+// finished FedSV / ComFedSV report. Each job is decomposed into a staged
+// task graph (prepare, N observation shards, merge+completion, Shapley
+// extraction) scheduled round-robin across jobs on one bounded worker
+// pool, so a large valuation no longer monopolizes a worker while small
+// jobs starve behind it; sharding and scheduling never change a byte of
+// any report. Finished reports are optionally persisted to disk so they
+// survive restarts, and -job-ttl evicts old terminal jobs. Training runs
+// can be registered once as shared /v1/runs resources (content-addressed,
+// optionally persisted via -runs-dir) and referenced by any number of jobs
+// through "run_id", which amortizes the training trace and the test-loss
+// evaluator cache across jobs. /v1/metrics exposes scheduler counters in
+// Prometheus text format. See internal/api for the route table and
 // README.md for curl examples.
 package main
 
@@ -30,16 +35,24 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "valuation worker goroutines (0 = GOMAXPROCS)")
-		par      = flag.Int("parallelism", 0, "per-job CPU parallelism for jobs that don't set it (0 = fair share of GOMAXPROCS across workers)")
+		workers  = flag.Int("workers", 0, "scheduler worker goroutines, each running one stage task at a time (0 = GOMAXPROCS)")
+		par      = flag.Int("parallelism", 0, "per-task CPU parallelism for jobs that don't set it (0 = fair share of GOMAXPROCS across workers)")
+		shards   = flag.Int("shards", 0, "observation shards per job for jobs that don't set it (0 = 1; sharding never changes a report)")
 		queue    = flag.Int("queue", 64, "max queued jobs before submissions are rejected")
 		storeDir = flag.String("store", "", "directory for persisted job reports (empty = in-memory only)")
 		runsDir  = flag.String("runs-dir", "", "directory for persisted shared training runs (empty = in-memory only)")
+		jobTTL   = flag.Duration("job-ttl", 0, "evict terminal jobs (memory and store) this long after they finish (0 = keep forever)")
 		timeout  = flag.Duration("drain", 30*time.Second, "max time to drain running jobs on shutdown")
 	)
 	flag.Parse()
 
-	cfg := service.Config{Workers: *workers, QueueDepth: *queue, DefaultParallelism: *par}
+	cfg := service.Config{
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		DefaultParallelism: *par,
+		DefaultShards:      *shards,
+		JobTTL:             *jobTTL,
+	}
 	if *storeDir != "" {
 		store, err := persist.NewJobStore(*storeDir)
 		if err != nil {
@@ -77,8 +90,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("comfedsvd: listening on %s (workers=%d parallelism=%d queue=%d store=%q runs-dir=%q)",
-		*addr, mgr.Workers(), mgr.DefaultParallelism(), *queue, *storeDir, *runsDir)
+	log.Printf("comfedsvd: listening on %s (workers=%d parallelism=%d shards=%d queue=%d store=%q runs-dir=%q job-ttl=%v)",
+		*addr, mgr.Workers(), mgr.DefaultParallelism(), mgr.DefaultShards(), *queue, *storeDir, *runsDir, *jobTTL)
 
 	select {
 	case err := <-errc:

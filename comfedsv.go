@@ -23,7 +23,6 @@ import (
 
 	"comfedsv/internal/dataset"
 	"comfedsv/internal/fl"
-	"comfedsv/internal/mc"
 	"comfedsv/internal/model"
 	"comfedsv/internal/shapley"
 	"comfedsv/internal/utility"
@@ -75,18 +74,29 @@ type Options struct {
 	// evaluations. 0 means GOMAXPROCS. The computed values are
 	// bit-identical for every setting; only wall-clock time changes.
 	Parallelism int
-	// OnProgress, if non-nil, receives pipeline progress updates. It is
-	// called from the goroutine running the valuation and must be cheap;
-	// it does not affect the computed values.
+	// Shards splits the Monte-Carlo observation stage into that many
+	// independently schedulable shards, each owning a disjoint slice of
+	// the sampled permutations (0 means 1; clamped to the sample count).
+	// The one-shot Value path runs them serially; the comfedsvd scheduler
+	// runs them as separate tasks on its shared worker pool so one large
+	// valuation no longer monopolizes a worker. The computed values are
+	// bit-identical for every setting.
+	Shards int
+	// OnProgress, if non-nil, receives pipeline progress updates. Shard
+	// observation events may be delivered concurrently when a scheduler
+	// runs shards in parallel, so the callback must be safe for concurrent
+	// use and cheap; it does not affect the computed values.
 	OnProgress func(Progress) `json:"-"`
 }
 
 // Progress describes how far a valuation run has advanced. During the
-// StageTrain stage Done counts completed FedAvg rounds out of Total; the
-// valuation stages report Done = 0 on entry and Done = Total = 1 when
+// StageTrain stage Done counts completed FedAvg rounds out of Total, and
+// during StageObserve it counts completed observation shards; the
+// remaining stages report Done = 0 on entry and Done = Total = 1 when
 // complete.
 type Progress struct {
-	// Stage is one of StageTrain, StageFedSV, StageComFedSV.
+	// Stage is one of StageTrain, StageFedSV, StageObserve, StageComplete,
+	// StageShapley.
 	Stage string `json:"stage"`
 	// Done is the number of completed units within the stage.
 	Done int `json:"done"`
@@ -94,11 +104,16 @@ type Progress struct {
 	Total int `json:"total"`
 }
 
-// Valuation pipeline stages reported through Options.OnProgress.
+// Valuation pipeline stages reported through Options.OnProgress, in
+// execution order: FedAvg training, the FedSV baseline, the ComFedSV
+// observation shards, the matrix-completion solve, and the Shapley
+// extraction.
 const (
 	StageTrain    = "train"
 	StageFedSV    = "fedsv"
-	StageComFedSV = "comfedsv"
+	StageObserve  = "observe"
+	StageComplete = "complete"
+	StageShapley  = "shapley"
 )
 
 // DefaultOptions returns a configuration suitable for tens of clients.
@@ -146,21 +161,19 @@ func Value(clients []Client, test Client, opts Options) (*Report, error) {
 // at every FedAvg round boundary, at every valuation round/permutation
 // boundary, and between pipeline stages, and a cancelled call returns
 // ctx.Err(). A context that is never cancelled yields exactly Value's
-// result. This is the entry point the comfedsvd service uses so running
-// jobs can be cancelled.
+// result.
+//
+// ValueCtx drives the same staged Valuation the comfedsvd scheduler
+// executes task by task, just serially in one goroutine — that shared code
+// path is what makes service reports byte-identical to direct calls.
 func ValueCtx(ctx context.Context, clients []Client, test Client, opts Options) (*Report, error) {
 	tr, err := TrainCtx(ctx, clients, test, opts)
 	if err != nil {
 		return nil, err
 	}
-	// A private evaluator: the one-shot path owns its memo table, so
-	// UtilityCalls is exactly the distinct-evaluation count of this run.
-	report, err := valueStages(ctx, tr, tr.eval, opts)
-	if err != nil {
-		return nil, err
-	}
-	report.UtilityCalls = tr.eval.Calls()
-	return report, nil
+	// The run is private to this call, so the session's distinct-cell
+	// count is exactly the evaluation bill a standalone evaluator pays.
+	return NewValuation(tr, opts).Run(ctx)
 }
 
 // TrainedRun is a completed FedAvg training trace bundled with a shared,
@@ -320,65 +333,12 @@ func ValueRun(tr *TrainedRun, opts Options) (*Report, EvalStats, error) {
 // cache happened to hold. The returned EvalStats splits those cells into
 // shared-cache hits and fresh evaluations.
 func ValueRunCtx(ctx context.Context, tr *TrainedRun, opts Options) (*Report, EvalStats, error) {
-	session := tr.eval.NewSession()
-	report, err := valueStages(ctx, tr, session, opts)
+	v := NewValuation(tr, opts)
+	report, err := v.Run(ctx)
 	if err != nil {
 		return nil, EvalStats{}, err
 	}
-	report.UtilityCalls = session.Calls()
-	return report, EvalStats{Hits: session.Hits(), Misses: session.Misses()}, nil
-}
-
-// valueStages runs the post-training pipeline — final-model metrics, FedSV,
-// ComFedSV — against any utility source (a private evaluator for one-shot
-// calls, a shared-cache session for run-backed jobs). UtilityCalls is left
-// to the caller, whose source knows its own accounting.
-func valueStages(ctx context.Context, tr *TrainedRun, src utility.Source, opts Options) (*Report, error) {
-	progress := func(p Progress) {
-		if opts.OnProgress != nil {
-			opts.OnProgress(p)
-		}
-	}
-	loss, acc := tr.finalMetrics()
-	report := &Report{
-		FinalTestLoss: loss,
-		FinalAccuracy: acc,
-	}
-	progress(Progress{Stage: StageFedSV, Done: 0, Total: 1})
-	fedsv, err := shapley.FedSVCtx(ctx, src)
-	if err != nil {
-		return nil, stageErr(ctx, "fedsv", err)
-	}
-	report.FedSV = fedsv
-	progress(Progress{Stage: StageFedSV, Done: 1, Total: 1})
-
-	progress(Progress{Stage: StageComFedSV, Done: 0, Total: 1})
-	mcCfg := mc.DefaultConfig(opts.Rank)
-	mcCfg.Workers = opts.Parallelism
-	if opts.MonteCarloSamples > 0 {
-		res, err := shapley.MonteCarloCtx(ctx, src, shapley.MonteCarloConfig{
-			Samples:    opts.MonteCarloSamples,
-			Completion: mcCfg,
-			Seed:       opts.Seed + 1,
-			Workers:    opts.Parallelism,
-		})
-		if err != nil {
-			return nil, stageErr(ctx, "valuation", err)
-		}
-		report.ComFedSV = res.Values
-		report.ObservedDensity = res.Store.Density()
-		report.CompletionRMSE = res.Completion.TrainRMSE
-	} else {
-		res, err := shapley.ComFedSVExactCtx(ctx, src, mcCfg)
-		if err != nil {
-			return nil, stageErr(ctx, "valuation", err)
-		}
-		report.ComFedSV = res.Values
-		report.ObservedDensity = res.Store.Density()
-		report.CompletionRMSE = res.Completion.TrainRMSE
-	}
-	progress(Progress{Stage: StageComFedSV, Done: 1, Total: 1})
-	return report, nil
+	return report, v.Stats(), nil
 }
 
 // stageErr converts a pipeline-stage failure into the caller-visible

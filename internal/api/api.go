@@ -4,25 +4,31 @@
 //	POST /v1/jobs             submit a valuation job (clients + options,
 //	                          or "run_id" to value against a shared run)
 //	GET  /v1/jobs             list all jobs
-//	GET  /v1/jobs/{id}        job status and progress
+//	GET  /v1/jobs/{id}        job status, per-stage/per-shard progress
 //	GET  /v1/jobs/{id}/report finished report (FedSV / ComFedSV values)
 //	POST /v1/jobs/{id}/cancel cancel a queued or running job
+//	DELETE /v1/jobs/{id}      delete a terminal job (409 while active)
 //	POST /v1/runs             register (and train, if new) a shared run
 //	GET  /v1/runs             list all shared runs
 //	GET  /v1/runs/{id}        run status, refcount, cache hit/miss counters
 //	DELETE /v1/runs/{id}      delete a run (409 while jobs reference it)
 //	GET  /v1/healthz          liveness plus job/run/worker counts
+//	GET  /v1/metrics          scheduler counters in Prometheus text format
 //
-// Every response body is JSON; errors are {"error": "..."} with a
-// meaningful status code (400 malformed, 404 unknown job/run, 409 report
-// not ready or run still referenced, 503 queue full or shutting down).
+// Every response body is JSON (except /v1/metrics, which is Prometheus
+// text exposition); errors are {"error": "..."} with a meaningful status
+// code (400 malformed, 404 unknown job/run, 409 report not ready, job
+// still active, or run still referenced, 503 queue full or shutting down).
 package api
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"sort"
+	"strings"
 	"time"
 
 	"comfedsv"
@@ -52,11 +58,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.report)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.cancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.deleteJob)
 	mux.HandleFunc("POST /v1/runs", s.createRun)
 	mux.HandleFunc("GET /v1/runs", s.listRuns)
 	mux.HandleFunc("GET /v1/runs/{id}", s.runStatus)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.deleteRun)
 	mux.HandleFunc("GET /v1/healthz", s.healthz)
+	mux.HandleFunc("GET /v1/metrics", s.metrics)
 	return mux
 }
 
@@ -77,11 +85,16 @@ type optionsJSON struct {
 	HiddenUnits       int     `json:"hidden_units,omitempty"`
 	Rank              int     `json:"rank,omitempty"`
 	MonteCarloSamples int     `json:"monte_carlo_samples,omitempty"`
-	// Parallelism is the per-job CPU budget for the valuation hot path
+	// Parallelism is the per-task CPU budget for the valuation hot path
 	// (ALS completion and Monte-Carlo observation). 0 or absent means the
 	// daemon's default — a fair share of GOMAXPROCS across the worker
 	// pool. The computed values do not depend on it.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Shards is the number of observation shard tasks the job's
+	// Monte-Carlo stage is split into on the scheduler. 0 or absent means
+	// the daemon's default (-shards flag, 1 if unset). The computed values
+	// do not depend on it.
+	Shards int `json:"shards,omitempty"`
 	// Seed is a pointer so an explicit "seed": 0 is distinguishable from
 	// an absent field (0 is a valid seed the library accepts).
 	Seed *int64 `json:"seed,omitempty"`
@@ -113,6 +126,7 @@ func (o optionsJSON) overlay(requireClasses bool) (comfedsv.Options, error) {
 		"rank":                o.Rank,
 		"monte_carlo_samples": o.MonteCarloSamples,
 		"parallelism":         o.Parallelism,
+		"shards":              o.Shards,
 	} {
 		if v < 0 {
 			return opts, fmt.Errorf("options.%s must not be negative, got %d", name, v)
@@ -149,6 +163,9 @@ func (o optionsJSON) overlay(requireClasses bool) (comfedsv.Options, error) {
 	}
 	if o.Parallelism > 0 {
 		opts.Parallelism = o.Parallelism
+	}
+	if o.Shards > 0 {
+		opts.Shards = o.Shards
 	}
 	if o.Seed != nil {
 		opts.Seed = *o.Seed
@@ -362,6 +379,73 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// deleteJob removes a terminal job and its persisted report. Active jobs
+// are a 409 — cancel first, then delete.
+func (s *Server) deleteJob(w http.ResponseWriter, r *http.Request) {
+	switch err := s.mgr.DeleteJob(r.PathValue("id")); {
+	case errors.Is(err, service.ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, service.ErrJobActive):
+		writeError(w, http.StatusConflict, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+// metrics renders the scheduler counters in the Prometheus text exposition
+// format (version 0.0.4) — job states, queue and task depths, executed
+// stage tasks, TTL evictions, and the per-run utility-cache ledgers.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	m := s.mgr.Metrics()
+	var b strings.Builder
+
+	b.WriteString("# HELP comfedsvd_jobs Number of jobs by lifecycle state.\n# TYPE comfedsvd_jobs gauge\n")
+	for _, st := range []service.State{service.StateQueued, service.StateRunning, service.StateDone, service.StateFailed} {
+		fmt.Fprintf(&b, "comfedsvd_jobs{state=%q} %d\n", string(st), m.Jobs[st])
+	}
+
+	b.WriteString("# HELP comfedsvd_runs Number of shared training runs by state.\n# TYPE comfedsvd_runs gauge\n")
+	for _, st := range []service.RunState{service.RunTraining, service.RunReady, service.RunFailed} {
+		fmt.Fprintf(&b, "comfedsvd_runs{state=%q} %d\n", string(st), m.Runs[st])
+	}
+
+	b.WriteString("# HELP comfedsvd_queue_depth Jobs waiting to start (bounded by -queue).\n# TYPE comfedsvd_queue_depth gauge\n")
+	fmt.Fprintf(&b, "comfedsvd_queue_depth %d\n", m.QueuedJobs)
+	b.WriteString("# HELP comfedsvd_ready_tasks Stage tasks eligible to run now.\n# TYPE comfedsvd_ready_tasks gauge\n")
+	fmt.Fprintf(&b, "comfedsvd_ready_tasks %d\n", m.ReadyTasks)
+	b.WriteString("# HELP comfedsvd_inflight_tasks Stage tasks executing on workers.\n# TYPE comfedsvd_inflight_tasks gauge\n")
+	fmt.Fprintf(&b, "comfedsvd_inflight_tasks %d\n", m.InflightTasks)
+
+	b.WriteString("# HELP comfedsvd_tasks_executed_total Completed stage tasks by pipeline stage.\n# TYPE comfedsvd_tasks_executed_total counter\n")
+	stages := make([]string, 0, len(m.TasksExecuted))
+	for stage := range m.TasksExecuted {
+		stages = append(stages, stage)
+	}
+	sort.Strings(stages)
+	for _, stage := range stages {
+		fmt.Fprintf(&b, "comfedsvd_tasks_executed_total{stage=%q} %d\n", stage, m.TasksExecuted[stage])
+	}
+	b.WriteString("# HELP comfedsvd_shard_tasks_executed_total Observation shard tasks executed.\n# TYPE comfedsvd_shard_tasks_executed_total counter\n")
+	fmt.Fprintf(&b, "comfedsvd_shard_tasks_executed_total %d\n", m.ShardTasksExecuted)
+	b.WriteString("# HELP comfedsvd_jobs_evicted_total Terminal jobs evicted by the TTL janitor.\n# TYPE comfedsvd_jobs_evicted_total counter\n")
+	fmt.Fprintf(&b, "comfedsvd_jobs_evicted_total %d\n", m.JobsEvicted)
+
+	b.WriteString("# HELP comfedsvd_run_cache_hits_total Utility-cache lookups amortized by a run's shared memo table.\n# TYPE comfedsvd_run_cache_hits_total counter\n")
+	for _, rc := range m.RunCaches {
+		fmt.Fprintf(&b, "comfedsvd_run_cache_hits_total{run_id=%q} %d\n", rc.ID, rc.Hits)
+	}
+	b.WriteString("# HELP comfedsvd_run_cache_misses_total Distinct test-loss evaluations paid per run.\n# TYPE comfedsvd_run_cache_misses_total counter\n")
+	for _, rc := range m.RunCaches {
+		fmt.Fprintf(&b, "comfedsvd_run_cache_misses_total{run_id=%q} %d\n", rc.ID, rc.Misses)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, b.String())
 }
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {

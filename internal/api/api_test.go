@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -602,6 +603,220 @@ func TestDaemonDeleteRunConflict(t *testing.T) {
 	}
 	if code := getJSON(t, ts.URL+"/v1/runs/"+created.ID, nil); code != http.StatusNotFound {
 		t.Fatalf("deleted run status: %d, want 404", code)
+	}
+}
+
+// TestDaemonShardsByteIdenticalEndToEnd is the HTTP-layer determinism
+// acceptance test of the stage-graph scheduler: the same Monte-Carlo
+// submission with shards 1, 2, and 8 must produce byte-identical report
+// bodies, and the status must surface the per-shard accounting.
+func TestDaemonShardsByteIdenticalEndToEnd(t *testing.T) {
+	ts := testDaemon(t, service.Config{Workers: 3})
+
+	submit := func(shards int) (string, []byte) {
+		_, clients, test, _ := tinyJob(37)
+		body := map[string]any{
+			"test": map[string]any{"x": test.X, "y": test.Y},
+			"options": map[string]any{
+				"num_classes":         2,
+				"rounds":              4,
+				"clients_per_round":   2,
+				"seed":                37,
+				"monte_carlo_samples": 30,
+				"shards":              shards,
+				"parallelism":         2,
+			},
+		}
+		var cs []map[string]any
+		for _, c := range clients {
+			cs = append(cs, map[string]any{"x": c.X, "y": c.Y})
+		}
+		body["clients"] = cs
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := submitAndWait(t, ts.URL, raw)
+		code, rep := getBody(t, ts.URL+"/v1/jobs/"+id+"/report")
+		if code != http.StatusOK {
+			t.Fatalf("GET report: %d", code)
+		}
+		return id, rep
+	}
+
+	id1, want := submit(1)
+	for _, shards := range []int{2, 8} {
+		id, got := submit(shards)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("shards=%d report differs from shards=1:\n%s\nvs\n%s", shards, got, want)
+		}
+		var st service.Status
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("GET status: %d", code)
+		}
+		if st.Shards != shards || st.ShardsDone != shards {
+			t.Fatalf("shards=%d status accounting %d/%d", shards, st.ShardsDone, st.Shards)
+		}
+	}
+	var st service.Status
+	getJSON(t, ts.URL+"/v1/jobs/"+id1, &st)
+	if st.Shards != 1 {
+		t.Fatalf("shards=1 job reports %d shards", st.Shards)
+	}
+
+	// The shards knob is validated like the other counters.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		bytes.NewBufferString(`{"clients": [{"x": [[1]], "y": [0]}], "test": {"x": [[1]], "y": [0]}, "options": {"num_classes": 2, "shards": -1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative shards: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDaemonDeleteJob pins the DELETE /v1/jobs/{id} surface: 409 while the
+// job runs, 204 once terminal, 404 afterwards and for unknown jobs.
+func TestDaemonDeleteJob(t *testing.T) {
+	release := make(chan struct{})
+	ts := testDaemon(t, service.Config{
+		Workers: 1,
+		Value: func(ctx context.Context, _ []comfedsv.Client, _ comfedsv.Client, _ comfedsv.Options) (*comfedsv.Report, error) {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-release:
+				return &comfedsv.Report{FedSV: []float64{1}, ComFedSV: []float64{1}}, nil
+			}
+		},
+	})
+
+	del := func(id string) int {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := del("job-doesnotexist"); code != http.StatusNotFound {
+		t.Fatalf("DELETE unknown job: %d, want 404", code)
+	}
+
+	payload, _, _, _ := tinyJob(39)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var st service.Status
+		getJSON(t, ts.URL+"/v1/jobs/"+sub.ID, &st)
+		if st.State == service.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code := del(sub.ID); code != http.StatusConflict {
+		t.Fatalf("DELETE running job: %d, want 409", code)
+	}
+	close(release)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		var st service.Status
+		getJSON(t, ts.URL+"/v1/jobs/"+sub.ID, &st)
+		if st.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code := del(sub.ID); code != http.StatusNoContent {
+		t.Fatalf("DELETE terminal job: %d, want 204", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+sub.ID, nil); code != http.StatusNotFound {
+		t.Fatalf("status after delete: %d, want 404", code)
+	}
+	if code := del(sub.ID); code != http.StatusNotFound {
+		t.Fatalf("second DELETE: %d, want 404", code)
+	}
+}
+
+// TestDaemonMetricsEndpoint checks /v1/metrics renders Prometheus text
+// with the scheduler counters after a sharded job ran.
+func TestDaemonMetricsEndpoint(t *testing.T) {
+	ts := testDaemon(t, service.Config{Workers: 2, DefaultShards: 2})
+	_, clients, test, _ := tinyJob(43)
+	body := map[string]any{
+		"test": map[string]any{"x": test.X, "y": test.Y},
+		"options": map[string]any{
+			"num_classes":         2,
+			"rounds":              4,
+			"clients_per_round":   2,
+			"seed":                43,
+			"monte_carlo_samples": 20,
+		},
+	}
+	var cs []map[string]any
+	for _, c := range clients {
+		cs = append(cs, map[string]any{"x": c.X, "y": c.Y})
+	}
+	body["clients"] = cs
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitAndWait(t, ts.URL, raw)
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q, want text/plain exposition", ct)
+	}
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`comfedsvd_jobs{state="done"} 1`,
+		`comfedsvd_jobs{state="failed"} 0`,
+		`comfedsvd_queue_depth 0`,
+		`comfedsvd_tasks_executed_total{stage="prepare"} 1`,
+		`comfedsvd_tasks_executed_total{stage="observe"} 2`,
+		`comfedsvd_tasks_executed_total{stage="complete"} 1`,
+		`comfedsvd_tasks_executed_total{stage="shapley"} 1`,
+		`comfedsvd_shard_tasks_executed_total 2`,
+		`comfedsvd_jobs_evicted_total 0`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, text)
+		}
 	}
 }
 

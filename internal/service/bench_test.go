@@ -1,0 +1,139 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"comfedsv"
+)
+
+// benchRequest builds a deterministic valuation request scaled by client
+// count, Monte-Carlo samples, and rounds (0 samples = the exact pipeline).
+// More clients means more distinct permutation-prefix columns, so the
+// observation and completion stages grow with every knob.
+func benchRequest(seed int64, clients, samples, rounds, shards int) Request {
+	mk := func(off float64, points int) comfedsv.Client {
+		var c comfedsv.Client
+		for i := 0; i < points; i++ {
+			x := off + float64(i)*0.17
+			label := 0
+			if x > 1 {
+				label = 1
+			}
+			c.X = append(c.X, []float64{x, 1 - x})
+			c.Y = append(c.Y, label)
+		}
+		return c
+	}
+	var cs []comfedsv.Client
+	for i := 0; i < clients; i++ {
+		cs = append(cs, mk(-0.5+float64(i)*0.2, 24))
+	}
+	opts := comfedsv.DefaultOptions(2)
+	opts.Rounds = rounds
+	opts.ClientsPerRound = 3
+	opts.Seed = seed
+	opts.MonteCarloSamples = samples
+	opts.Shards = shards
+	return Request{Clients: cs, Test: mk(0.25, 32), Options: opts}
+}
+
+// BenchmarkMixedLoadSmallJobLatency measures time-to-first-completion
+// under mixed load — the quantity the stage-graph scheduler exists to fix.
+// One worker, a large sharded Monte-Carlo job submitted first, a small
+// exact job submitted behind it; the metric is how long the small job
+// waits for its report. On the old worker-per-job engine this was the big
+// job's full runtime; with per-job round-robin over stage tasks it is
+// bounded by the small job's own work plus one interleaved big-job task
+// per turn.
+//
+//	go test -bench MixedLoad -benchtime 5x ./internal/service
+func BenchmarkMixedLoadSmallJobLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, err := NewManager(Config{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bigStart := time.Now()
+		idBig, err := m.Submit(benchRequest(61, 12, 800, 10, 8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		smallStart := time.Now()
+		idSmall, err := m.Submit(benchRequest(62, 4, 0, 4, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		waitDone := func(id string) Status {
+			for {
+				st, err := m.Status(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.State.Terminal() {
+					if st.State != StateDone {
+						b.Fatalf("job finished %s (%s)", st.State, st.Error)
+					}
+					return st
+				}
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+		waitDone(idSmall)
+		smallLatency := time.Since(smallStart)
+		b.StopTimer()
+		waitDone(idBig)
+		bigLatency := time.Since(bigStart)
+		b.ReportMetric(smallLatency.Seconds(), "small-job-s")
+		b.ReportMetric(bigLatency.Seconds(), "big-job-s")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := m.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+		cancel()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkShardedJobThroughput runs one large Monte-Carlo job through the
+// scheduler at different shard counts on a multi-worker pool; on a
+// multicore host higher shard counts let the observation stage occupy
+// several workers at once.
+func BenchmarkShardedJobThroughput(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(map[int]string{1: "shards=1", 4: "shards=4"}[shards], func(b *testing.B) {
+			m, err := NewManager(Config{Workers: 4, DefaultParallelism: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				m.Shutdown(ctx)
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id, err := m.Submit(benchRequest(63, 12, 400, 8, shards))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					st, err := m.Status(id)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st.State.Terminal() {
+						if st.State != StateDone {
+							b.Fatalf("job finished %s (%s)", st.State, st.Error)
+						}
+						break
+					}
+					time.Sleep(500 * time.Microsecond)
+				}
+			}
+		})
+	}
+}

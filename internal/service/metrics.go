@@ -1,0 +1,74 @@
+package service
+
+// Metrics is a point-in-time snapshot of the manager's operational
+// counters, the data source of the daemon's /v1/metrics endpoint. All
+// fields are plain values safe to retain and render after the lock is
+// released.
+type Metrics struct {
+	// Jobs counts jobs by lifecycle state; Runs counts shared runs.
+	Jobs map[State]int
+	Runs map[RunState]int
+	// QueuedJobs is the number of jobs waiting to start (the quantity
+	// bounded by Config.QueueDepth).
+	QueuedJobs int
+	// ReadyTasks is the number of stage tasks currently eligible to run;
+	// InflightTasks is the number executing on workers right now.
+	ReadyTasks    int
+	InflightTasks int
+	// TasksExecuted counts completed stage tasks by stage name (prepare,
+	// observe, complete, shapley) over the manager's lifetime, including
+	// failed executions.
+	TasksExecuted map[string]int64
+	// ShardTasksExecuted is TasksExecuted's observe entry: the number of
+	// observation shard tasks the scheduler has run.
+	ShardTasksExecuted int64
+	// JobsEvicted counts terminal jobs removed by the TTL janitor.
+	JobsEvicted int64
+	// RunCaches holds the per-run utility-cache ledgers in registration
+	// order: misses are distinct test-loss evaluations paid for, hits are
+	// lookups amortized by the shared memo table.
+	RunCaches []RunCacheMetric
+}
+
+// RunCacheMetric is one shared run's cumulative cache ledger.
+type RunCacheMetric struct {
+	ID     string
+	Hits   int
+	Misses int
+}
+
+// Metrics snapshots the manager's counters.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := Metrics{
+		Jobs:          make(map[State]int, 4),
+		Runs:          make(map[RunState]int, 3),
+		QueuedJobs:    m.queued,
+		InflightTasks: m.inflight,
+		TasksExecuted: make(map[string]int64, len(m.tasksDone)),
+		JobsEvicted:   m.jobsEvicted,
+	}
+	for _, j := range m.jobs {
+		snap.Jobs[j.state]++
+	}
+	for _, j := range m.ring {
+		snap.ReadyTasks += len(j.ready)
+	}
+	for stage, n := range m.tasksDone {
+		snap.TasksExecuted[stage] = n
+	}
+	snap.ShardTasksExecuted = m.tasksDone[taskObserve]
+	for _, id := range m.runOrder {
+		e := m.runs[id]
+		snap.Runs[e.state]++
+		rc := RunCacheMetric{ID: id}
+		if e.tr != nil {
+			cs := e.tr.CacheStats()
+			rc.Hits = cs.Hits
+			rc.Misses = cs.Misses
+		}
+		snap.RunCaches = append(snap.RunCaches, rc)
+	}
+	return snap
+}

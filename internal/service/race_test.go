@@ -132,6 +132,74 @@ func TestConcurrentJobsShareOneRun(t *testing.T) {
 	}
 }
 
+// TestConcurrentShardedJobsShareOneRun is the -race hammer for the staged
+// scheduler's hottest interleaving: several Monte-Carlo jobs, each split
+// into concurrent observation shards, all hammering ONE shared run's
+// evaluator at once. Every report must be byte-identical to the direct
+// inline call, and the shard fan-out must show up in the task counters.
+func TestConcurrentShardedJobsShareOneRun(t *testing.T) {
+	m := newManager(t, Config{Workers: 4})
+	spec := tinySpec(27)
+	st, _, err := m.CreateRun(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitRunTerminal(t, m, st.ID); got.State != RunReady {
+		t.Fatalf("run finished %s (%s)", got.State, got.Error)
+	}
+
+	opts := tinyRequest(27).Options
+	opts.MonteCarloSamples = 40
+	opts.Shards = 4
+	opts.Parallelism = 2
+	const jobs = 6
+	ids := make([]string, jobs)
+	for i := range ids {
+		id, err := m.Submit(Request{RunID: st.ID, Options: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	req := tinyRequest(27)
+	req.Options.MonteCarloSamples = 40
+	want, err := comfedsv.Value(req.Clients, req.Test, req.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBody, _ := json.Marshal(want)
+	for i, id := range ids {
+		if s := waitTerminal(t, m, id); s.State != StateDone {
+			t.Fatalf("job %d finished %s (%s)", i, s.State, s.Error)
+		}
+		rep, err := m.Report(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(body, wantBody) {
+			t.Fatalf("job %d sharded report differs from direct call:\n%s\nvs\n%s", i, body, wantBody)
+		}
+		s, err := m.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Shards != 4 || s.ShardsDone != 4 {
+			t.Fatalf("job %d shard accounting %d/%d, want 4/4", i, s.ShardsDone, s.Shards)
+		}
+		if s.CacheStats == nil || s.CacheStats.Hits+s.CacheStats.Misses != rep.UtilityCalls {
+			t.Fatalf("job %d ledger %+v does not sum to its %d utility calls", i, s.CacheStats, rep.UtilityCalls)
+		}
+	}
+	if got := m.Metrics().ShardTasksExecuted; got != jobs*4 {
+		t.Fatalf("shard tasks executed = %d, want %d", got, jobs*4)
+	}
+}
+
 // TestSnapshotReadsRaceFreeUnderLoad is the targeted torn-read check for
 // the Manager's snapshot paths (run with -race): Status, List, Counts,
 // Report, RunStatus, and Runs are hammered while jobs run, stream

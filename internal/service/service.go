@@ -1,10 +1,16 @@
 // Package service turns the one-shot comfedsv valuation pipeline into a
-// long-running job engine: a Manager owns a bounded worker pool that
-// executes submitted valuation requests asynchronously, tracks per-job
-// state and progress, supports cancellation through context.Context, and
-// mirrors finished reports into a disk-backed persist.JobStore so
-// completed work survives restarts. The HTTP layer in internal/api and the
-// comfedsvd daemon are thin shells around this package.
+// long-running job engine. A Manager decomposes every submitted job into a
+// staged task graph — prepare (training or shared-run resolution, FedSV,
+// observation planning), N observation shards, merge+completion, Shapley
+// extraction — and schedules the tasks of all jobs on one shared worker
+// pool with per-job round-robin fairness, so one large valuation no longer
+// monopolizes a worker for its whole lifetime while small jobs starve
+// behind it. The Manager tracks per-job state and per-stage progress,
+// supports cancellation through context.Context (draining a cancelled
+// job's queued shards immediately), and mirrors finished reports into a
+// disk-backed persist.JobStore so completed work survives restarts. The
+// HTTP layer in internal/api and the comfedsvd daemon are thin shells
+// around this package.
 package service
 
 import (
@@ -24,9 +30,9 @@ import (
 // State is a job's lifecycle phase.
 type State string
 
-// Job lifecycle: Submit puts a job in StateQueued; a worker moves it to
-// StateRunning; it finishes in StateDone or StateFailed (cancellation is a
-// failure with ErrCancelled).
+// Job lifecycle: Submit puts a job in StateQueued; the scheduler moves it
+// to StateRunning when its first task starts; it finishes in StateDone or
+// StateFailed (cancellation is a failure with ErrCancelled).
 const (
 	StateQueued  State = "queued"
 	StateRunning State = "running"
@@ -61,6 +67,13 @@ type Status struct {
 	// so it will not survive a restart).
 	Error string `json:"error,omitempty"`
 
+	// Shards and ShardsDone describe the observation stage's task
+	// decomposition: how many shard tasks the scheduler fans this job's
+	// Monte-Carlo observation work out into, and how many have completed.
+	// Both are 0 until the prepare stage has planned the job.
+	Shards     int `json:"shards,omitempty"`
+	ShardsDone int `json:"shards_done,omitempty"`
+
 	// RunID is the shared training run this job values against; empty for
 	// jobs with inline training.
 	RunID string `json:"run_id,omitempty"`
@@ -79,6 +92,7 @@ var (
 	ErrNotFound  = errors.New("service: no such job")
 	ErrNotDone   = errors.New("service: job is not done")
 	ErrFailed    = errors.New("service: job failed")
+	ErrJobActive = errors.New("service: job is not terminal")
 	ErrQueueFull = errors.New("service: job queue is full")
 	ErrShutdown  = errors.New("service: manager is shut down")
 	ErrCancelled = errors.New("service: job cancelled")
@@ -87,11 +101,13 @@ var (
 // Config sizes and wires a Manager. The zero value is usable: GOMAXPROCS
 // workers, a 64-deep queue, no persistence.
 type Config struct {
-	// Workers is the number of concurrent valuation workers; 0 means
-	// GOMAXPROCS.
+	// Workers is the number of concurrent task workers; 0 means
+	// GOMAXPROCS. A worker runs one stage task at a time — not one whole
+	// job — so K jobs × N shards interleave across the pool.
 	Workers int
-	// QueueDepth bounds the number of jobs waiting to run; 0 means 64.
-	// Submissions beyond the bound fail fast with ErrQueueFull.
+	// QueueDepth bounds the number of jobs waiting to start; 0 means 64.
+	// Submissions beyond the bound fail fast with ErrQueueFull. Stage
+	// tasks of jobs already started are not counted against it.
 	QueueDepth int
 	// Store, if non-nil, receives every finished report, and its existing
 	// reports are exposed as done jobs at startup.
@@ -101,26 +117,43 @@ type Config struct {
 	// disk on first use).
 	RunStore *persist.RunStore
 	// DefaultParallelism is the Options.Parallelism applied to submissions
-	// that leave it 0: the per-job CPU budget for the valuation hot path.
+	// that leave it 0: the per-task CPU budget for the valuation hot path.
 	// 0 means a fair share of the machine across the worker pool —
 	// GOMAXPROCS divided by Workers, at least 1 — so a fully busy pool
 	// does not oversubscribe the host; a job that wants the whole machine
 	// can ask for it explicitly in its options.
 	DefaultParallelism int
-	// Value runs one valuation. Nil means comfedsv.ValueCtx; tests and
-	// custom pipelines may substitute their own.
+	// DefaultShards is the Options.Shards applied to submissions that
+	// leave it 0: how many observation shard tasks one job's Monte-Carlo
+	// stage is split into. 0 means 1 (no sharding). Sharding changes
+	// scheduling only, never a byte of any report.
+	DefaultShards int
+	// JobTTL, if positive, evicts terminal jobs — from memory and, when a
+	// Store is configured, from disk — once they have been finished for at
+	// least this long. 0 keeps jobs forever.
+	JobTTL time.Duration
+	// Value, if non-nil, replaces the staged pipeline for inline jobs with
+	// a single monolithic task — the substitution hook tests and custom
+	// pipelines use. Nil (the default) runs the staged comfedsv pipeline.
 	Value func(ctx context.Context, clients []comfedsv.Client, test comfedsv.Client, opts comfedsv.Options) (*comfedsv.Report, error)
 	// Train trains one shared run for the registry. Nil means
 	// comfedsv.TrainCtx.
 	Train func(ctx context.Context, clients []comfedsv.Client, test comfedsv.Client, opts comfedsv.Options) (*comfedsv.TrainedRun, error)
-	// ValueRun runs one valuation against a shared run. Nil means
-	// comfedsv.ValueRunCtx.
+	// ValueRun, if non-nil, replaces the staged pipeline for run-backed
+	// jobs with a single monolithic task. Nil runs the staged pipeline.
 	ValueRun func(ctx context.Context, tr *comfedsv.TrainedRun, opts comfedsv.Options) (*comfedsv.Report, comfedsv.EvalStats, error)
+
+	// buildValuation, if non-nil, replaces the whole staged pipeline —
+	// in-package tests use it to script task graphs with controlled
+	// timing. It must be cheap and infallible; the returned valuation's
+	// stages carry the real work.
+	buildValuation func(req Request, opts comfedsv.Options) stagedValuation
 }
 
 type job struct {
 	id       string
 	req      Request
+	opts     comfedsv.Options // effective options: defaults applied, progress hooked
 	state    State
 	progress comfedsv.Progress
 	err      error
@@ -128,37 +161,83 @@ type job struct {
 
 	// runID mirrors req.RunID but survives the terminal-state release of
 	// the request payload; runReleased guards the run's refcount against
-	// double release. cacheStats is recorded when a run-backed valuation
+	// double release. cacheStats is recorded when a shared-cache valuation
 	// completes.
 	runID       string
 	runReleased bool
 	cacheStats  *comfedsv.EvalStats
 
-	cancel context.CancelFunc // non-nil while running
+	// Scheduler state. ctx spans the job's whole execution; cancel is
+	// called on Cancel, failure, completion, and abort. ready holds the
+	// stage tasks eligible to run now (FIFO within the job); inflight
+	// counts tasks currently executing on workers. failed records the
+	// first task failure — the job finalizes once the last in-flight task
+	// drains. val is the staged pipeline, built at submit, released on
+	// completion.
+	ctx        context.Context
+	cancel     context.CancelFunc
+	ready      []*task
+	inflight   int
+	inRing     bool
+	failed     error
+	val        stagedValuation
+	persistErr error
+
+	shardsTotal int
+	shardsDone  int
+	shardsLeft  int
 
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
 }
 
-// Manager executes valuation jobs on a bounded worker pool. The pending
-// queue is a slice guarded by mu (not a channel) so that cancelling a
-// queued job frees its slot immediately and an expired Shutdown can abort
-// the backlog instead of draining it.
+// task is one schedulable unit of a job's stage graph. run executes
+// outside the manager lock with the job's context; done advances the stage
+// graph (enqueue successors or finalize the job) and is called under the
+// manager lock after run returns nil.
+type task struct {
+	j     *job
+	stage string
+	shard int // observation shard index; -1 for non-shard stages
+	run   func(ctx context.Context) error
+	done  func()
+}
+
+// Task stage names, used by the metrics counters and the fairness tests.
+const (
+	taskPrepare  = "prepare"
+	taskObserve  = "observe"
+	taskComplete = "complete"
+	taskShapley  = "shapley"
+)
+
+// Manager executes valuation jobs as staged task graphs on a bounded
+// worker pool. Scheduling state is a ring of jobs with ready tasks,
+// guarded by mu (not a channel): the pool pops tasks round-robin across
+// jobs — one task per turn — so a 1000-shard job and a 1-shard job
+// submitted behind it interleave instead of the big job holding the head
+// of a FIFO, and cancelling a job can drain its queued tasks immediately.
 type Manager struct {
 	cfg   Config
-	wg    sync.WaitGroup // valuation workers
+	wg    sync.WaitGroup // task workers + TTL janitor
 	runWG sync.WaitGroup // shared-run training goroutines
 
 	mu       sync.Mutex
-	cond     *sync.Cond // signaled on enqueue, close, and abort
-	pending  []*job     // FIFO of queued jobs
+	cond     *sync.Cond // signaled on task enqueue, task completion, close, and abort
+	ring     []*job     // round-robin ring of jobs with ready tasks
+	queued   int        // jobs in StateQueued (bounded by QueueDepth)
+	inflight int        // tasks currently executing across all jobs
 	jobs     map[string]*job
 	order    []string
 	runs     map[string]*runEntry
 	runOrder []string
 	closed   bool
 	aborted  bool
+
+	tasksDone   map[string]int64 // executed task counts by stage name
+	jobsEvicted int64
+	janitorStop chan struct{}
 }
 
 // NewManager starts a manager and its worker pool. If cfg.Store holds
@@ -177,19 +256,18 @@ func NewManager(cfg Config) (*Manager, error) {
 			cfg.DefaultParallelism = 1
 		}
 	}
-	if cfg.Value == nil {
-		cfg.Value = comfedsv.ValueCtx
+	if cfg.DefaultShards <= 0 {
+		cfg.DefaultShards = 1
 	}
 	if cfg.Train == nil {
 		cfg.Train = comfedsv.TrainCtx
 	}
-	if cfg.ValueRun == nil {
-		cfg.ValueRun = comfedsv.ValueRunCtx
-	}
 	m := &Manager{
-		cfg:  cfg,
-		jobs: make(map[string]*job),
-		runs: make(map[string]*runEntry),
+		cfg:         cfg,
+		jobs:        make(map[string]*job),
+		runs:        make(map[string]*runEntry),
+		tasksDone:   make(map[string]int64),
+		janitorStop: make(chan struct{}),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	if cfg.RunStore != nil {
@@ -232,52 +310,86 @@ func NewManager(cfg Config) (*Manager, error) {
 		m.wg.Add(1)
 		go m.worker()
 	}
+	if cfg.JobTTL > 0 {
+		m.wg.Add(1)
+		go m.janitor(cfg.JobTTL)
+	}
 	return m, nil
 }
 
 // Workers returns the worker-pool size.
 func (m *Manager) Workers() int { return m.cfg.Workers }
 
-// DefaultParallelism returns the per-job parallelism applied to submissions
-// that don't set their own.
+// DefaultParallelism returns the per-task parallelism applied to
+// submissions that don't set their own.
 func (m *Manager) DefaultParallelism() int { return m.cfg.DefaultParallelism }
+
+// DefaultShards returns the observation shard count applied to submissions
+// that don't set their own.
+func (m *Manager) DefaultShards() int { return m.cfg.DefaultShards }
 
 // Submit validates run references and queue capacity — the pipeline itself
 // rejects otherwise malformed requests when the job runs — and returns the
 // new job's ID, or ErrQueueFull / ErrShutdown / ErrRunNotFound. A
 // run-backed submission pins its run (DeleteRun refuses until the job is
 // terminal); a job may reference a run that is still training and will
-// wait for it.
+// wait for it without parking a worker.
 func (m *Manager) Submit(req Request) (string, error) {
+	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		id:        newJobID(),
 		req:       req,
 		runID:     req.RunID,
 		state:     StateQueued,
+		ctx:       ctx,
+		cancel:    cancel,
 		submitted: time.Now(),
 	}
+	opts := req.Options
+	if opts.Parallelism == 0 {
+		opts.Parallelism = m.cfg.DefaultParallelism
+	}
+	if opts.Shards == 0 {
+		opts.Shards = m.cfg.DefaultShards
+	}
+	prev := opts.OnProgress
+	opts.OnProgress = func(p comfedsv.Progress) {
+		m.mu.Lock()
+		j.progress = p
+		m.mu.Unlock()
+		if prev != nil {
+			prev(p)
+		}
+	}
+	j.opts = opts
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
+		cancel()
 		return "", ErrShutdown
 	}
-	if len(m.pending) >= m.cfg.QueueDepth {
+	if m.queued >= m.cfg.QueueDepth {
+		cancel()
 		return "", ErrQueueFull
 	}
 	if req.RunID != "" {
 		if len(req.Clients) > 0 || len(req.Test.X) > 0 || len(req.Test.Y) > 0 {
+			cancel()
 			return "", errors.New("service: request has both run_id and inline clients/test")
 		}
 		e, ok := m.runs[req.RunID]
 		if !ok {
+			cancel()
 			return "", fmt.Errorf("%w: %s", ErrRunNotFound, req.RunID)
 		}
 		e.refs++
 	}
-	m.pending = append(m.pending, j)
+	j.val = m.newValuation(j)
+	m.queued++
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
-	m.cond.Signal()
+	m.enqueueLocked(j, m.prepareTask(j))
 	return j.id, nil
 }
 
@@ -356,10 +468,10 @@ func (m *Manager) Report(id string) (*comfedsv.Report, error) {
 	return &rep, nil
 }
 
-// Cancel stops a job: a queued job fails immediately with ErrCancelled, a
-// running job has its context cancelled (it fails once the pipeline
-// observes the cancellation at the next round boundary). Cancelling a
-// terminal job is a no-op.
+// Cancel stops a job: a queued job fails immediately with ErrCancelled; a
+// running job has its context cancelled and its remaining queued stage
+// tasks drained from the scheduler, then fails once its in-flight tasks
+// observe the cancellation. Cancelling a terminal job is a no-op.
 func (m *Manager) Cancel(id string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -369,28 +481,245 @@ func (m *Manager) Cancel(id string) error {
 	}
 	switch j.state {
 	case StateQueued:
+		m.drainLocked(j)
 		m.failLocked(j, ErrCancelled)
-		for i, p := range m.pending {
-			if p == j {
-				m.pending = append(m.pending[:i], m.pending[i+1:]...)
-				break
-			}
-		}
 	case StateRunning:
 		j.cancel()
+		m.drainLocked(j)
+		if j.failed == nil {
+			j.failed = ErrCancelled
+		}
+		if j.inflight == 0 {
+			m.failLocked(j, j.failed)
+		}
 	}
 	return nil
 }
 
-// failLocked moves a non-terminal job to StateFailed, releases its
-// request payload (client datasets can be large; only the report matters
-// after a terminal state), and drops its shared-run reference. Callers
+// DeleteJob removes a terminal job from the manager and, when a Store is
+// configured, deletes its persisted artifacts. Deleting a queued or
+// running job fails with ErrJobActive — cancel it first.
+func (m *Manager) DeleteJob(id string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return ErrNotFound
+	}
+	if !j.state.Terminal() {
+		state := j.state
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrJobActive, id, state)
+	}
+	m.mu.Unlock()
+
+	// The disk deletion happens outside the lock (the evictExpired
+	// pattern): a slow store must not stall the scheduler and every API
+	// read behind the manager mutex. Terminal states are final, so the
+	// only thing the re-check below guards against is a concurrent
+	// delete or TTL eviction of the same job.
+	if m.cfg.Store != nil {
+		if err := m.cfg.Store.DeleteJob(id); err != nil {
+			return err
+		}
+	}
+	m.mu.Lock()
+	if _, ok := m.jobs[id]; ok {
+		m.removeJobLocked(id)
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// removeJobLocked drops a job from the registry maps. Callers hold m.mu
+// and have already established the job is terminal.
+func (m *Manager) removeJobLocked(id string) {
+	delete(m.jobs, id)
+	for i, jid := range m.order {
+		if jid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// enqueueLocked appends stage tasks to a job's ready list and places the
+// job in the fairness ring if absent. Callers hold m.mu.
+func (m *Manager) enqueueLocked(j *job, tasks ...*task) {
+	j.ready = append(j.ready, tasks...)
+	if !j.inRing && len(j.ready) > 0 {
+		m.ring = append(m.ring, j)
+		j.inRing = true
+	}
+	m.cond.Broadcast()
+}
+
+// drainLocked removes a job's queued tasks from the scheduler (its
+// in-flight tasks keep running until they observe cancellation). Callers
 // hold m.mu.
+func (m *Manager) drainLocked(j *job) {
+	j.ready = nil
+	if j.inRing {
+		for i, r := range m.ring {
+			if r == j {
+				m.ring = append(m.ring[:i], m.ring[i+1:]...)
+				break
+			}
+		}
+		j.inRing = false
+	}
+}
+
+// popTaskLocked removes and returns the next runnable stage task under the
+// per-job round-robin policy — the replacement for the old job-FIFO
+// popEligibleLocked. The first eligible job in the ring surrenders its
+// front task and rotates to the back (if it still has ready tasks), so K
+// jobs take turns task by task instead of the head job monopolizing the
+// pool. Queued jobs referencing a run that is still training are skipped
+// in place — they stay scheduled (not parked on a worker) so the pool
+// keeps serving unrelated jobs during a long training; trainRun's
+// completion broadcast re-examines them. During an abort everything is
+// eligible: the job contexts are cancelled, so popped tasks fail fast.
+// Callers hold m.mu.
+func (m *Manager) popTaskLocked() *task {
+	for i := 0; i < len(m.ring); i++ {
+		j := m.ring[i]
+		if j.runID != "" && j.state == StateQueued && !m.aborted {
+			if e, ok := m.runs[j.runID]; ok && e.state == RunTraining {
+				continue
+			}
+		}
+		t := j.ready[0]
+		j.ready = j.ready[1:]
+		m.ring = append(m.ring[:i], m.ring[i+1:]...)
+		if len(j.ready) > 0 {
+			m.ring = append(m.ring, j)
+		} else {
+			j.inRing = false
+		}
+		return t
+	}
+	return nil
+}
+
+// claimLocked accounts a popped task as running: the job's first task
+// moves it to StateRunning. Callers hold m.mu.
+func (m *Manager) claimLocked(t *task) {
+	j := t.j
+	if j.state == StateQueued {
+		j.state = StateRunning
+		j.started = time.Now()
+		m.queued--
+	}
+	j.inflight++
+	m.inflight++
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		t := m.popTaskLocked()
+		for t == nil {
+			if (m.closed || m.aborted) && len(m.ring) == 0 && m.inflight == 0 {
+				m.mu.Unlock()
+				return
+			}
+			m.cond.Wait()
+			t = m.popTaskLocked()
+		}
+		m.claimLocked(t)
+		m.mu.Unlock()
+		err := m.execute(t)
+		m.taskDone(t, err)
+	}
+}
+
+// execute runs one stage task, converting a panic in the pipeline (or in a
+// substituted Config.Value / Config.ValueRun) into a task failure: one
+// poisoned job must not take down the daemon and every other job with it.
+func (m *Manager) execute(t *task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: job panicked: %v", r)
+		}
+	}()
+	if err := t.j.ctx.Err(); err != nil {
+		return err
+	}
+	return t.run(t.j.ctx)
+}
+
+// taskDone retires an executed task: on failure it cancels the job and
+// drains its remaining tasks; the job finalizes once its last in-flight
+// task returns. On success the task's done hook advances the stage graph.
+func (m *Manager) taskDone(t *task, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := t.j
+	j.inflight--
+	m.inflight--
+	m.tasksDone[t.stage]++
+	if err != nil && j.failed == nil {
+		j.failed = err
+		j.cancel()
+		m.drainLocked(j)
+	}
+	if j.failed != nil {
+		if j.inflight == 0 && !j.state.Terminal() {
+			if j.report != nil {
+				// The extraction stage produced (and possibly persisted)
+				// the report before the cancellation was observed: the
+				// cancel lost the race, so complete the job — failing it
+				// here would strand a persisted report that a restart
+				// resurrects as a done job the caller was told failed.
+				m.completeJobLocked(j)
+			} else {
+				ferr := j.failed
+				if errors.Is(ferr, context.Canceled) {
+					ferr = ErrCancelled
+				}
+				m.failLocked(j, ferr)
+			}
+		}
+		m.cond.Broadcast()
+		return
+	}
+	if t.done != nil {
+		t.done()
+	}
+	m.cond.Broadcast()
+}
+
+// failLocked moves a non-terminal job to StateFailed, releases its request
+// payload and pipeline (client datasets can be large; only the report
+// matters after a terminal state), and drops its shared-run reference.
+// Callers hold m.mu and guarantee the job has no in-flight tasks — task
+// closures read j.req without the lock, so the payload must not be cleared
+// under a live task.
 func (m *Manager) failLocked(j *job, err error) {
+	if j.state == StateQueued {
+		m.queued--
+	}
+	j.cancel()
 	j.state = StateFailed
 	j.err = err
 	j.finished = time.Now()
 	j.req = Request{}
+	j.val = nil
+	j.ready = nil
+	m.releaseRunLocked(j)
+}
+
+// completeJobLocked moves a job to StateDone after its extraction task
+// stashed the report. Callers hold m.mu.
+func (m *Manager) completeJobLocked(j *job) {
+	j.cancel()
+	j.state = StateDone
+	j.err = j.persistErr
+	j.finished = time.Now()
+	j.req = Request{}
+	j.val = nil
 	m.releaseRunLocked(j)
 }
 
@@ -404,6 +733,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if !m.closed {
 		m.closed = true
+		close(m.janitorStop)
 		m.cond.Broadcast()
 	}
 	m.mu.Unlock()
@@ -420,13 +750,20 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		m.mu.Lock()
 		m.aborted = true
-		for _, j := range m.pending {
-			m.failLocked(j, ErrCancelled)
-		}
-		m.pending = nil
 		for _, j := range m.jobs {
-			if j.state == StateRunning {
+			switch j.state {
+			case StateQueued:
+				m.drainLocked(j)
+				m.failLocked(j, ErrCancelled)
+			case StateRunning:
 				j.cancel()
+				m.drainLocked(j)
+				if j.failed == nil {
+					j.failed = ErrCancelled
+				}
+				if j.inflight == 0 {
+					m.failLocked(j, j.failed)
+				}
 			}
 		}
 		for _, e := range m.runs {
@@ -441,144 +778,56 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}
 }
 
-func (m *Manager) worker() {
+// janitor periodically evicts terminal jobs older than the TTL.
+func (m *Manager) janitor(ttl time.Duration) {
 	defer m.wg.Done()
+	interval := ttl / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
 	for {
-		m.mu.Lock()
-		j := m.popEligibleLocked()
-		for j == nil {
-			if len(m.pending) == 0 && (m.closed || m.aborted) {
-				m.mu.Unlock()
-				return
-			}
-			// Nothing runnable: either the queue is empty, or every queued
-			// job references a run still in training (its completion
-			// broadcasts). Either way the worker must not spin or park on
-			// one job — other submissions stay servable.
-			m.cond.Wait()
-			j = m.popEligibleLocked()
+		select {
+		case <-m.janitorStop:
+			return
+		case <-ticker.C:
+			m.evictExpired(ttl)
 		}
-		m.mu.Unlock()
-		m.runJob(j)
 	}
 }
 
-// popEligibleLocked removes and returns the first queued job that can make
-// progress right now. Jobs referencing a run that is still training are
-// skipped — they stay queued (not parked on a worker) so the pool keeps
-// serving unrelated jobs during a long training; trainRun's completion
-// broadcast re-examines them. During an abort everything is eligible: the
-// runJob preamble fails aborted jobs immediately. Callers hold m.mu.
-func (m *Manager) popEligibleLocked() *job {
-	for i, j := range m.pending {
-		if j.runID != "" && !m.aborted {
-			if e, ok := m.runs[j.runID]; ok && e.state == RunTraining {
+// evictExpired removes terminal jobs that finished before the TTL cutoff,
+// deleting their persisted artifacts best-effort (a job whose report
+// cannot be deleted stays registered and is retried next sweep, so the
+// in-memory view never claims an eviction disk still contradicts).
+func (m *Manager) evictExpired(ttl time.Duration) {
+	cutoff := time.Now().Add(-ttl)
+	m.mu.Lock()
+	var expired []string
+	for id, j := range m.jobs {
+		if j.state.Terminal() && !j.finished.IsZero() && j.finished.Before(cutoff) {
+			expired = append(expired, id)
+		}
+	}
+	m.mu.Unlock()
+
+	for _, id := range expired {
+		if m.cfg.Store != nil {
+			if err := m.cfg.Store.DeleteJob(id); err != nil {
 				continue
 			}
 		}
-		m.pending = append(m.pending[:i], m.pending[i+1:]...)
-		return j
-	}
-	return nil
-}
-
-func (m *Manager) runJob(j *job) {
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-
-	m.mu.Lock()
-	if j.state != StateQueued {
-		m.mu.Unlock()
-		return
-	}
-	if m.aborted {
-		m.failLocked(j, ErrCancelled)
-		m.mu.Unlock()
-		return
-	}
-	j.state = StateRunning
-	j.started = time.Now()
-	j.cancel = cancel
-	m.mu.Unlock()
-
-	rep, err := m.value(ctx, j)
-	// A persistence failure must not discard a successfully computed
-	// report: the job completes with the report resident in memory and the
-	// store error recorded as a warning on its status.
-	var persistErr error
-	if err == nil && m.cfg.Store != nil {
-		if serr := m.cfg.Store.SaveJobReport(j.id, rep); serr != nil {
-			persistErr = fmt.Errorf("service: persisting report: %w", serr)
-		}
-	}
-
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	j.cancel = nil
-	if err != nil {
-		if errors.Is(err, context.Canceled) {
-			err = ErrCancelled
-		}
-		m.failLocked(j, err)
-		return
-	}
-	j.state = StateDone
-	j.report = rep
-	j.err = persistErr
-	j.finished = time.Now()
-	j.req = Request{}
-	m.releaseRunLocked(j)
-}
-
-// value runs one valuation, converting a panic in the pipeline (or in a
-// substituted Config.Value / Config.ValueRun) into a job failure: one
-// poisoned job must not take down the daemon and every other job with it.
-func (m *Manager) value(ctx context.Context, j *job) (rep *comfedsv.Report, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			rep, err = nil, fmt.Errorf("service: job panicked: %v", r)
-		}
-	}()
-	opts := j.req.Options
-	if opts.Parallelism == 0 {
-		opts.Parallelism = m.cfg.DefaultParallelism
-	}
-	prev := opts.OnProgress
-	opts.OnProgress = func(p comfedsv.Progress) {
 		m.mu.Lock()
-		j.progress = p
-		m.mu.Unlock()
-		if prev != nil {
-			prev(p)
+		if j, ok := m.jobs[id]; ok && j.state.Terminal() {
+			m.removeJobLocked(id)
+			m.jobsEvicted++
 		}
+		m.mu.Unlock()
 	}
-	if j.runID == "" {
-		return m.cfg.Value(ctx, j.req.Clients, j.req.Test, opts)
-	}
-
-	// Run-backed job: wait for the shared run (it may still be training —
-	// a cancelled job stops waiting immediately), then value against its
-	// trace and shared cache.
-	m.mu.Lock()
-	e := m.runs[j.runID] // pinned by the submit-time refcount
-	m.mu.Unlock()
-	select {
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	case <-e.done:
-	}
-	tr, err := m.runTrained(e)
-	if err != nil {
-		return nil, fmt.Errorf("service: run %s: %w", j.runID, err)
-	}
-	rep, stats, err := m.cfg.ValueRun(ctx, tr, opts)
-	if err != nil {
-		return nil, err
-	}
-	m.mu.Lock()
-	j.cacheStats = &stats
-	m.mu.Unlock()
-	return rep, nil
 }
 
 // snapshot must be called with m.mu held.
@@ -587,6 +836,8 @@ func (j *job) snapshot() Status {
 		ID:          j.id,
 		State:       j.state,
 		Progress:    j.progress,
+		Shards:      j.shardsTotal,
+		ShardsDone:  j.shardsDone,
 		RunID:       j.runID,
 		SubmittedAt: j.submitted,
 	}

@@ -85,8 +85,11 @@ func TestManagerEndToEndMatchesDirectCall(t *testing.T) {
 	if st.StartedAt == nil || st.FinishedAt == nil {
 		t.Fatal("terminal job missing timestamps")
 	}
-	if st.Progress.Stage != comfedsv.StageComFedSV || st.Progress.Done != 1 {
-		t.Fatalf("final progress %+v, want comfedsv stage complete", st.Progress)
+	if st.Progress.Stage != comfedsv.StageShapley || st.Progress.Done != 1 {
+		t.Fatalf("final progress %+v, want shapley stage complete", st.Progress)
+	}
+	if st.Shards != 1 || st.ShardsDone != 1 {
+		t.Fatalf("shard accounting %d/%d, want 1/1 for the exact pipeline", st.ShardsDone, st.Shards)
 	}
 	got, err := m.Report(id)
 	if err != nil {

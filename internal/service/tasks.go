@@ -1,0 +1,251 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"comfedsv"
+)
+
+// stagedValuation is the scheduler's view of one job's pipeline: the stage
+// graph it turns into tasks. Prepare does the serial setup (training or
+// shared-run resolution, FedSV, observation planning) and returns how many
+// observation shards to schedule; ObserveShard calls for distinct shards
+// may run concurrently; Complete merges and solves; Extract produces the
+// report. Stats returns the shared-cache ledger, nil for pipelines that
+// don't value against a shared cache (inline jobs).
+type stagedValuation interface {
+	Prepare(ctx context.Context) (shards int, err error)
+	ObserveShard(ctx context.Context, shard int) error
+	Complete(ctx context.Context) error
+	Extract(ctx context.Context) (*comfedsv.Report, error)
+	Stats() *comfedsv.EvalStats
+}
+
+// newValuation picks the staged pipeline for a submission: the real
+// comfedsv Valuation (inline or run-backed), a legacy monolithic hook, or
+// the test script. It is cheap — all heavy work happens inside the
+// returned stages, on workers, under the job's context.
+func (m *Manager) newValuation(j *job) stagedValuation {
+	if m.cfg.buildValuation != nil {
+		return m.cfg.buildValuation(j.req, j.opts)
+	}
+	if j.runID == "" {
+		if m.cfg.Value != nil {
+			return &monoValuation{run: func(ctx context.Context) (*comfedsv.Report, *comfedsv.EvalStats, error) {
+				rep, err := m.cfg.Value(ctx, j.req.Clients, j.req.Test, j.opts)
+				return rep, nil, err
+			}}
+		}
+		return &pipelineValuation{build: func(ctx context.Context) (*comfedsv.Valuation, bool, error) {
+			tr, err := comfedsv.TrainCtx(ctx, j.req.Clients, j.req.Test, j.opts)
+			if err != nil {
+				return nil, false, err
+			}
+			// The trace is private to this job, so the session's ledger is
+			// not a shared-cache split worth surfacing.
+			return comfedsv.NewValuation(tr, j.opts), false, nil
+		}}
+	}
+	resolve := func(ctx context.Context) (*comfedsv.TrainedRun, error) {
+		// The entry is pinned by the submit-time refcount. It may still be
+		// training — the scheduler keeps the job ineligible while it is,
+		// but a recovered or racing entry can reach here early, so wait on
+		// the completion channel (a cancelled job stops waiting).
+		m.mu.Lock()
+		e := m.runs[j.runID]
+		m.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-e.done:
+		}
+		tr, err := m.runTrained(e)
+		if err != nil {
+			return nil, fmt.Errorf("service: run %s: %w", j.runID, err)
+		}
+		return tr, nil
+	}
+	if m.cfg.ValueRun != nil {
+		return &monoValuation{run: func(ctx context.Context) (*comfedsv.Report, *comfedsv.EvalStats, error) {
+			tr, err := resolve(ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			rep, stats, err := m.cfg.ValueRun(ctx, tr, j.opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			return rep, &stats, nil
+		}}
+	}
+	return &pipelineValuation{build: func(ctx context.Context) (*comfedsv.Valuation, bool, error) {
+		tr, err := resolve(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		return comfedsv.NewValuation(tr, j.opts), true, nil
+	}}
+}
+
+// pipelineValuation adapts the staged comfedsv.Valuation — plus the work
+// of obtaining its TrainedRun (inline training or shared-run resolution),
+// which belongs on a worker, not in Submit — to the scheduler's stage
+// interface.
+type pipelineValuation struct {
+	build  func(ctx context.Context) (*comfedsv.Valuation, bool, error)
+	v      *comfedsv.Valuation
+	shared bool
+}
+
+func (p *pipelineValuation) Prepare(ctx context.Context) (int, error) {
+	v, shared, err := p.build(ctx)
+	if err != nil {
+		return 0, err
+	}
+	p.v, p.shared = v, shared
+	return v.Prepare(ctx)
+}
+
+func (p *pipelineValuation) ObserveShard(ctx context.Context, shard int) error {
+	return p.v.ObserveShard(ctx, shard)
+}
+
+func (p *pipelineValuation) Complete(ctx context.Context) error { return p.v.Complete(ctx) }
+
+func (p *pipelineValuation) Extract(ctx context.Context) (*comfedsv.Report, error) {
+	return p.v.Extract(ctx)
+}
+
+func (p *pipelineValuation) Stats() *comfedsv.EvalStats {
+	if !p.shared {
+		return nil
+	}
+	s := p.v.Stats()
+	return &s
+}
+
+// monoValuation runs a whole legacy Config.Value / Config.ValueRun hook as
+// a single observation task, so substituted pipelines keep working on the
+// staged scheduler: a one-shard graph whose observe stage is the entire
+// valuation.
+type monoValuation struct {
+	run   func(ctx context.Context) (*comfedsv.Report, *comfedsv.EvalStats, error)
+	rep   *comfedsv.Report
+	stats *comfedsv.EvalStats
+}
+
+func (mv *monoValuation) Prepare(context.Context) (int, error) { return 1, nil }
+
+func (mv *monoValuation) ObserveShard(ctx context.Context, _ int) error {
+	rep, stats, err := mv.run(ctx)
+	if err != nil {
+		return err
+	}
+	mv.rep, mv.stats = rep, stats
+	return nil
+}
+
+func (mv *monoValuation) Complete(context.Context) error { return nil }
+
+func (mv *monoValuation) Extract(context.Context) (*comfedsv.Report, error) { return mv.rep, nil }
+
+func (mv *monoValuation) Stats() *comfedsv.EvalStats { return mv.stats }
+
+// prepareTask is a job's first stage: build the pipeline (training inline
+// jobs, resolving shared runs) and plan the observation shards. Its done
+// hook fans the shard tasks out.
+func (m *Manager) prepareTask(j *job) *task {
+	return &task{
+		j:     j,
+		stage: taskPrepare,
+		shard: -1,
+		run: func(ctx context.Context) error {
+			shards, err := j.val.Prepare(ctx)
+			if err != nil {
+				return err
+			}
+			m.mu.Lock()
+			j.shardsTotal = shards
+			j.shardsLeft = shards
+			m.mu.Unlock()
+			return nil
+		},
+		done: func() {
+			tasks := make([]*task, j.shardsTotal)
+			for i := range tasks {
+				tasks[i] = m.observeTask(j, i)
+			}
+			m.enqueueLocked(j, tasks...)
+		},
+	}
+}
+
+// observeTask evaluates one observation shard. The last shard to finish
+// enqueues the merge+completion stage.
+func (m *Manager) observeTask(j *job, shard int) *task {
+	return &task{
+		j:     j,
+		stage: taskObserve,
+		shard: shard,
+		run: func(ctx context.Context) error {
+			return j.val.ObserveShard(ctx, shard)
+		},
+		done: func() {
+			j.shardsDone++
+			j.shardsLeft--
+			if j.shardsLeft == 0 {
+				m.enqueueLocked(j, m.completeTask(j))
+			}
+		},
+	}
+}
+
+// completeTask merges the shards in deterministic serial order and runs
+// the matrix-completion solve, then enqueues the extraction stage.
+func (m *Manager) completeTask(j *job) *task {
+	return &task{
+		j:     j,
+		stage: taskComplete,
+		shard: -1,
+		run: func(ctx context.Context) error {
+			return j.val.Complete(ctx)
+		},
+		done: func() {
+			m.enqueueLocked(j, m.extractTask(j))
+		},
+	}
+}
+
+// extractTask produces the report, persists it, and finalizes the job. A
+// persistence failure must not discard a successfully computed report: the
+// job completes with the report resident in memory and the store error
+// recorded as a warning on its status.
+func (m *Manager) extractTask(j *job) *task {
+	return &task{
+		j:     j,
+		stage: taskShapley,
+		shard: -1,
+		run: func(ctx context.Context) error {
+			rep, err := j.val.Extract(ctx)
+			if err != nil {
+				return err
+			}
+			var persistErr error
+			if m.cfg.Store != nil {
+				if serr := m.cfg.Store.SaveJobReport(j.id, rep); serr != nil {
+					persistErr = fmt.Errorf("service: persisting report: %w", serr)
+				}
+			}
+			m.mu.Lock()
+			j.report = rep
+			j.persistErr = persistErr
+			j.cacheStats = j.val.Stats()
+			m.mu.Unlock()
+			return nil
+		},
+		done: func() {
+			m.completeJobLocked(j)
+		},
+	}
+}

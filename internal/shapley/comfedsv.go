@@ -2,12 +2,9 @@ package shapley
 
 import (
 	"context"
-	"fmt"
 	"math"
 
-	"comfedsv/internal/mat"
 	"comfedsv/internal/mc"
-	"comfedsv/internal/rng"
 	"comfedsv/internal/utility"
 )
 
@@ -50,42 +47,20 @@ func ComFedSVExact(e utility.Source, cfg mc.Config) (*ExactResult, error) {
 // ComFedSVExactCtx is ComFedSVExact with cooperative cancellation, checked
 // at every observation-round boundary and between pipeline steps. The
 // matrix-completion solve itself is not interruptible but is bounded by
-// cfg.MaxIter.
+// cfg.MaxIter. It drives an ExactPlan's stages serially; schedulers that
+// want to interleave the stages with other work use the plan directly.
 func ComFedSVExactCtx(ctx context.Context, e utility.Source, cfg mc.Config) (*ExactResult, error) {
-	n := e.Run().NumClients()
-	if n > 14 {
-		return nil, fmt.Errorf("shapley: exact ComFedSV over 2^%d columns is infeasible; use MonteCarlo", n)
-	}
-	t := len(e.Run().Rounds)
-	store := utility.NewStore(t, n)
-	// Register columns in mask order so column index == mask−1.
-	for mask := uint64(1); mask < 1<<uint(n); mask++ {
-		store.ColumnOf(utility.FromMask(n, mask))
-	}
-	if err := utility.ObserveSelectedCtx(ctx, e, store); err != nil {
-		return nil, err
-	}
-
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	res, err := mc.Complete(toEntries(store.Observations()), t, store.NumColumns(), cfg)
+	p, err := NewExactPlan(e, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("shapley: completing utility matrix: %w", err)
+		return nil, err
 	}
-
-	// Sum the completed per-round utilities: Û(S) = Σ_t w_tᵀ h_S.
-	summed := make([]float64, 1<<uint(n))
-	for mask := uint64(1); mask < 1<<uint(n); mask++ {
-		col := int(mask) - 1
-		var s float64
-		for round := 0; round < t; round++ {
-			s += res.Predict(round, col)
-		}
-		summed[mask] = s
+	if err := p.Observe(ctx); err != nil {
+		return nil, err
 	}
-	values := Exact(n, func(mask uint64) float64 { return summed[mask] })
-	return &ExactResult{Values: values, Completion: res, Store: store}, nil
+	if err := p.Complete(ctx); err != nil {
+		return nil, err
+	}
+	return p.Extract(ctx)
 }
 
 // MonteCarloConfig parameterizes Algorithm 1.
@@ -104,12 +79,17 @@ type MonteCarloConfig struct {
 	// Seed drives permutation sampling.
 	Seed int64
 	// Workers bounds the number of concurrent utility evaluations in the
-	// observation stage; 0 means GOMAXPROCS. It also seeds
+	// observation stage (per shard); 0 means GOMAXPROCS. It also seeds
 	// Completion.Workers when that is left 0, so one knob parallelizes the
 	// whole pipeline. The estimate is bit-identical for every worker
 	// count: cells are evaluated by a deterministic pipeline and recorded
 	// into the Store in the serial order.
 	Workers int
+	// Shards splits the observation stage into that many disjoint
+	// permutation slices (0 means 1). MonteCarloCtx runs them serially;
+	// schedulers use MonteCarloPlan to run them concurrently. The estimate
+	// is bit-identical for every shard count.
+	Shards int
 }
 
 // DefaultMonteCarloConfig returns M ≈ 2·N·ln(N) samples and the default
@@ -143,144 +123,29 @@ func MonteCarlo(e utility.Source, cfg MonteCarloConfig) (*MonteCarloResult, erro
 }
 
 // MonteCarloCtx is MonteCarlo with cooperative cancellation, checked at
-// every observation-round boundary (the utility-call hot loop), between
-// pipeline steps, and per permutation during setup and estimation. The
-// matrix-completion solve itself is not interruptible but is bounded by
-// cfg.Completion.MaxIter.
+// every observation boundary (the utility-call hot loop), between pipeline
+// steps, and per permutation during setup and estimation. The matrix-
+// completion solve itself is not interruptible but is bounded by
+// cfg.Completion.MaxIter. It drives a MonteCarloPlan's stages serially —
+// observation shards one after another — so the result is byte-identical
+// to a scheduler running the same plan's shards concurrently.
 func MonteCarloCtx(ctx context.Context, e utility.Source, cfg MonteCarloConfig) (*MonteCarloResult, error) {
-	if cfg.Samples <= 0 {
-		return nil, fmt.Errorf("shapley: non-positive Monte-Carlo sample count %d", cfg.Samples)
-	}
-	n := e.Run().NumClients()
-	t := len(e.Run().Rounds)
-	g := rng.New(cfg.Seed)
-
-	perms := make([][]int, cfg.Samples)
-	for m := range perms {
-		if cfg.Antithetic && m%2 == 1 {
-			prev := perms[m-1]
-			rev := make([]int, n)
-			for i, c := range prev {
-				rev[n-1-i] = c
-			}
-			perms[m] = rev
-			continue
-		}
-		perms[m] = g.Perm(n)
-	}
-
-	store := utility.NewStore(t, n)
-	// Register every prefix column and remember its dense index per
-	// permutation position: prefixCols[m][j] is the column of the first
-	// j+1 elements of permutation m.
-	prefixCols := make([][]int, cfg.Samples)
-	for m, perm := range perms {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		s := utility.NewSet(n)
-		cols := make([]int, n)
-		for j, c := range perm {
-			s.Add(c)
-			cols[j] = store.ColumnOf(s)
-		}
-		prefixCols[m] = cols
-	}
-
-	// Observation stage: the prefixes contained in each round's selection.
-	// Walking the permutation in order, prefixes stop being subsets of I_t
-	// at the first unselected element. The expensive test-loss evaluations
-	// are fanned out over a bounded worker pool, so the stage is split in
-	// three deterministic steps: collect the distinct (round, prefix)
-	// cells in the exact order the serial walk visits them, evaluate them
-	// concurrently through the shared evaluator cache, then record into
-	// the store in that same serial order — the resulting observation list
-	// is byte-identical to the serial pipeline's for any worker count.
-	type obsCell struct{ round, col int }
-	var cells []utility.Cell
-	seen := make(map[obsCell]bool)
-	for round, rd := range e.Run().Rounds {
-		selected := utility.FromMembers(n, rd.Selected)
-		for m, perm := range perms {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			for j, c := range perm {
-				if !selected.Contains(c) {
-					break
-				}
-				// The prefix's column index was registered during setup;
-				// it identifies the subset without rebuilding a key, and
-				// the registered column set is the prefix itself.
-				oc := obsCell{round: round, col: prefixCols[m][j]}
-				if seen[oc] {
-					continue
-				}
-				seen[oc] = true
-				cells = append(cells, utility.Cell{Round: round, Subset: store.ColumnSet(oc.col)})
-			}
-		}
-	}
-	vals, err := e.UtilityBatchCtx(ctx, cells, cfg.Workers)
+	p, err := NewMonteCarloPlan(ctx, e, cfg)
 	if err != nil {
 		return nil, err
 	}
-	for i, c := range cells {
-		store.Observe(c.Round, c.Subset, vals[i])
-	}
-
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	completion := cfg.Completion
-	if completion.Workers == 0 {
-		completion.Workers = cfg.Workers
-	}
-	res, err := mc.Complete(toEntries(store.Observations()), t, store.NumColumns(), completion)
-	if err != nil {
-		return nil, fmt.Errorf("shapley: completing reduced utility matrix: %w", err)
-	}
-
-	// Count never-observed columns (diagnostic for Assumption 1).
-	observed := make([]bool, store.NumColumns())
-	for _, o := range store.Observations() {
-		observed[o.Col] = true
-	}
-	missing := 0
-	for _, ok := range observed {
-		if !ok {
-			missing++
-		}
-	}
-
-	// Estimate ŝ_i per (12): average over permutations of the summed
-	// completed marginal contributions. The empty prefix has utility 0.
-	values := make([]float64, n)
-	for m, perm := range perms {
-		if err := ctx.Err(); err != nil {
+	for shard := 0; shard < p.Shards(); shard++ {
+		if err := p.ObserveShard(ctx, shard); err != nil {
 			return nil, err
 		}
-		cols := prefixCols[m]
-		for round := 0; round < t; round++ {
-			wt := res.W.Row(round)
-			prev := 0.0
-			for j, client := range perm {
-				cur := mat.Dot(wt, res.H.Row(cols[j]))
-				values[client] += cur - prev
-				prev = cur
-			}
-		}
 	}
-	inv := 1 / float64(cfg.Samples)
-	for i := range values {
-		values[i] *= inv
+	if err := p.Merge(ctx); err != nil {
+		return nil, err
 	}
-	return &MonteCarloResult{
-		Values:            values,
-		Completion:        res,
-		Store:             store,
-		UnobservedColumns: missing,
-	}, nil
+	if err := p.Complete(ctx); err != nil {
+		return nil, err
+	}
+	return p.Extract(ctx)
 }
 
 func toEntries(obs []utility.Observation) []mc.Entry {

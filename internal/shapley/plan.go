@@ -1,0 +1,390 @@
+package shapley
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"comfedsv/internal/mat"
+	"comfedsv/internal/mc"
+	"comfedsv/internal/rng"
+	"comfedsv/internal/utility"
+)
+
+// obsCell addresses one observed utility-matrix entry by round and dense
+// column index (the column was registered during plan setup, so the index
+// identifies the prefix subset without rebuilding a key).
+type obsCell struct{ round, col int }
+
+// MonteCarloPlan is Algorithm 1 split into independently schedulable
+// stages, so a job scheduler can fan the expensive observation work out
+// over a shared worker pool instead of binding one whole valuation to one
+// worker:
+//
+//	setup (NewMonteCarloPlan)   sample permutations, register prefix columns
+//	observe (ObserveShard × S)  disjoint permutation slices evaluate their
+//	                            prefix cells through the shared source
+//	merge (Merge)               record values into the store in the exact
+//	                            serial-pipeline order
+//	complete (Complete)         solve the reduced problem (13)
+//	extract (Extract)           estimate ComFedSV via the permutation form (12)
+//
+// Determinism is the contract: for any shard count, any shard execution
+// order, and any concurrency between shards, the merged observation list —
+// and therefore the completion and the final values — is byte-identical to
+// the single-shard serial pipeline's. Two mechanisms make that hold: cell
+// values are deterministic memoized functions of the trace (overlapping
+// cells across shards agree, and the source's in-flight dedup pays each
+// test loss once), and Merge re-walks the full serial visit order rather
+// than concatenating shard outputs.
+//
+// ObserveShard calls for distinct shards are safe to run concurrently; the
+// other stages are serial checkpoints (Merge after every shard, Complete
+// after Merge, Extract after Complete).
+type MonteCarloPlan struct {
+	src utility.Source
+	cfg MonteCarloConfig
+	n   int
+	t   int
+
+	perms      [][]int
+	prefixCols [][]int
+	selected   []utility.Set // per-round selection bitsets
+	store      *utility.Store
+	nshards    int
+
+	shardVals  []map[obsCell]float64 // per-shard evaluated cells
+	merged     bool
+	completion *mc.Result
+}
+
+// NewMonteCarloPlan samples the permutations and registers every prefix
+// column, returning a plan whose observation stage is split into
+// cfg.Shards disjoint permutation slices (0 means 1; the count is clamped
+// to the number of permutations so every shard owns at least one).
+func NewMonteCarloPlan(ctx context.Context, e utility.Source, cfg MonteCarloConfig) (*MonteCarloPlan, error) {
+	if cfg.Samples <= 0 {
+		return nil, fmt.Errorf("shapley: non-positive Monte-Carlo sample count %d", cfg.Samples)
+	}
+	n := e.Run().NumClients()
+	t := len(e.Run().Rounds)
+	g := rng.New(cfg.Seed)
+
+	perms := make([][]int, cfg.Samples)
+	for m := range perms {
+		if cfg.Antithetic && m%2 == 1 {
+			prev := perms[m-1]
+			rev := make([]int, n)
+			for i, c := range prev {
+				rev[n-1-i] = c
+			}
+			perms[m] = rev
+			continue
+		}
+		perms[m] = g.Perm(n)
+	}
+
+	store := utility.NewStore(t, n)
+	// Register every prefix column and remember its dense index per
+	// permutation position: prefixCols[m][j] is the column of the first
+	// j+1 elements of permutation m. Registration is the only store
+	// mutation before Merge, so concurrent shards may read column sets
+	// freely.
+	prefixCols := make([][]int, cfg.Samples)
+	for m, perm := range perms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s := utility.NewSet(n)
+		cols := make([]int, n)
+		for j, c := range perm {
+			s.Add(c)
+			cols[j] = store.ColumnOf(s)
+		}
+		prefixCols[m] = cols
+	}
+
+	selected := make([]utility.Set, t)
+	for round, rd := range e.Run().Rounds {
+		selected[round] = utility.FromMembers(n, rd.Selected)
+	}
+
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > cfg.Samples {
+		shards = cfg.Samples
+	}
+	return &MonteCarloPlan{
+		src:        e,
+		cfg:        cfg,
+		n:          n,
+		t:          t,
+		perms:      perms,
+		prefixCols: prefixCols,
+		selected:   selected,
+		store:      store,
+		nshards:    shards,
+		shardVals:  make([]map[obsCell]float64, shards),
+	}, nil
+}
+
+// Shards returns the number of observation shards.
+func (p *MonteCarloPlan) Shards() int { return p.nshards }
+
+// shardRange returns the half-open permutation slice [lo, hi) owned by a
+// shard: contiguous, disjoint, and covering all permutations.
+func (p *MonteCarloPlan) shardRange(shard int) (lo, hi int) {
+	if shard < 0 || shard >= p.nshards {
+		panic(fmt.Sprintf("shapley: observation shard %d out of [0,%d)", shard, p.nshards))
+	}
+	m := len(p.perms)
+	return shard * m / p.nshards, (shard + 1) * m / p.nshards
+}
+
+// walkPrefixes visits every (round, prefix-column) observation cell for
+// permutations in [lo, hi), in the serial pipeline's visit order: rounds
+// outermost, then permutations, then prefix positions until the first
+// unselected element. Duplicate cells are visited again — callers dedup.
+func (p *MonteCarloPlan) walkPrefixes(ctx context.Context, lo, hi int, visit func(round, col int)) error {
+	for round := 0; round < p.t; round++ {
+		sel := p.selected[round]
+		for m := lo; m < hi; m++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			for j, c := range p.perms[m] {
+				if !sel.Contains(c) {
+					break
+				}
+				visit(round, p.prefixCols[m][j])
+			}
+		}
+	}
+	return nil
+}
+
+// ObserveShard collects the distinct prefix cells reachable from the
+// shard's permutations and evaluates them through the plan's source on a
+// bounded pool (cfg.Workers per shard). Distinct shards may run
+// concurrently — even across plans sharing one evaluator — because the
+// source memoizes and deduplicates in-flight evaluations; a cell two
+// shards both reach is paid for once.
+func (p *MonteCarloPlan) ObserveShard(ctx context.Context, shard int) error {
+	lo, hi := p.shardRange(shard)
+	seen := make(map[obsCell]bool)
+	var keys []obsCell
+	var cells []utility.Cell
+	err := p.walkPrefixes(ctx, lo, hi, func(round, col int) {
+		oc := obsCell{round: round, col: col}
+		if seen[oc] {
+			return
+		}
+		seen[oc] = true
+		keys = append(keys, oc)
+		cells = append(cells, utility.Cell{Round: round, Subset: p.store.ColumnSet(col)})
+	})
+	if err != nil {
+		return err
+	}
+	vals, err := p.src.UtilityBatchCtx(ctx, cells, p.cfg.Workers)
+	if err != nil {
+		return err
+	}
+	shardVals := make(map[obsCell]float64, len(keys))
+	for i, k := range keys {
+		shardVals[k] = vals[i]
+	}
+	p.shardVals[shard] = shardVals
+	return nil
+}
+
+// Merge records the shard-evaluated cells into the store by re-walking the
+// full serial visit order, so the observation list is byte-identical to
+// the single-shard pipeline's regardless of how many shards ran or in what
+// order they finished. Every shard must have been observed first.
+func (p *MonteCarloPlan) Merge(ctx context.Context) error {
+	combined := make(map[obsCell]float64)
+	for shard, vals := range p.shardVals {
+		if vals == nil {
+			return fmt.Errorf("shapley: observation shard %d/%d was not run before merge", shard, p.nshards)
+		}
+		// Overlapping cells across shards carry equal values (the source
+		// is a deterministic memoized function of the trace), so the
+		// union is well defined.
+		for k, v := range vals {
+			combined[k] = v
+		}
+	}
+	var missing error
+	err := p.walkPrefixes(ctx, 0, len(p.perms), func(round, col int) {
+		v, ok := combined[obsCell{round: round, col: col}]
+		if !ok && missing == nil {
+			// Cannot happen while shardRange covers every permutation; a
+			// loud failure beats silently observing a zero utility.
+			missing = fmt.Errorf("shapley: merge visited cell (%d,%d) no shard evaluated", round, col)
+		}
+		// Store.Observe ignores duplicates, so the first serial-order
+		// visit of each cell wins — exactly the serial pipeline's list.
+		p.store.Observe(round, p.store.ColumnSet(col), v)
+	})
+	if err != nil {
+		return err
+	}
+	if missing != nil {
+		return missing
+	}
+	p.merged = true
+	return nil
+}
+
+// Complete solves the reduced matrix-completion problem (13) over the
+// merged observations.
+func (p *MonteCarloPlan) Complete(ctx context.Context) error {
+	if !p.merged {
+		return errors.New("shapley: Complete before Merge")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	completion := p.cfg.Completion
+	if completion.Workers == 0 {
+		completion.Workers = p.cfg.Workers
+	}
+	res, err := mc.Complete(toEntries(p.store.Observations()), p.t, p.store.NumColumns(), completion)
+	if err != nil {
+		return fmt.Errorf("shapley: completing reduced utility matrix: %w", err)
+	}
+	p.completion = res
+	return nil
+}
+
+// Extract estimates ComFedSV via the permutation form (12) from the
+// completed factorization.
+func (p *MonteCarloPlan) Extract(ctx context.Context) (*MonteCarloResult, error) {
+	if p.completion == nil {
+		return nil, errors.New("shapley: Extract before Complete")
+	}
+	res := p.completion
+
+	// Count never-observed columns (diagnostic for Assumption 1).
+	observed := make([]bool, p.store.NumColumns())
+	for _, o := range p.store.Observations() {
+		observed[o.Col] = true
+	}
+	missing := 0
+	for _, ok := range observed {
+		if !ok {
+			missing++
+		}
+	}
+
+	// Estimate ŝ_i per (12): average over permutations of the summed
+	// completed marginal contributions. The empty prefix has utility 0.
+	values := make([]float64, p.n)
+	for m, perm := range p.perms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cols := p.prefixCols[m]
+		for round := 0; round < p.t; round++ {
+			wt := res.W.Row(round)
+			prev := 0.0
+			for j, client := range perm {
+				cur := mat.Dot(wt, res.H.Row(cols[j]))
+				values[client] += cur - prev
+				prev = cur
+			}
+		}
+	}
+	inv := 1 / float64(len(p.perms))
+	for i := range values {
+		values[i] *= inv
+	}
+	return &MonteCarloResult{
+		Values:            values,
+		Completion:        res,
+		Store:             p.store,
+		UnobservedColumns: missing,
+	}, nil
+}
+
+// ExactPlan is the exact (non-sampled) Definition 4 pipeline split into
+// the same schedulable stages as MonteCarloPlan. The observation region
+// {U_{t,S} : S ⊆ I_t} has no permutation structure to shard, so it runs as
+// a single observe stage.
+type ExactPlan struct {
+	src utility.Source
+	cfg mc.Config
+	n   int
+	t   int
+
+	store      *utility.Store
+	observed   bool
+	completion *mc.Result
+}
+
+// NewExactPlan registers every subset column in mask order (so column
+// index == mask−1) and validates feasibility.
+func NewExactPlan(e utility.Source, cfg mc.Config) (*ExactPlan, error) {
+	n := e.Run().NumClients()
+	if n > 14 {
+		return nil, fmt.Errorf("shapley: exact ComFedSV over 2^%d columns is infeasible; use MonteCarlo", n)
+	}
+	t := len(e.Run().Rounds)
+	store := utility.NewStore(t, n)
+	for mask := uint64(1); mask < 1<<uint(n); mask++ {
+		store.ColumnOf(utility.FromMask(n, mask))
+	}
+	return &ExactPlan{src: e, cfg: cfg, n: n, t: t, store: store}, nil
+}
+
+// Observe records the utilities of every subset of each round's selection.
+func (p *ExactPlan) Observe(ctx context.Context) error {
+	if err := utility.ObserveSelectedCtx(ctx, p.src, p.store); err != nil {
+		return err
+	}
+	p.observed = true
+	return nil
+}
+
+// Complete solves the full completion problem (9) over the observations.
+func (p *ExactPlan) Complete(ctx context.Context) error {
+	if !p.observed {
+		return errors.New("shapley: Complete before Observe")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	res, err := mc.Complete(toEntries(p.store.Observations()), p.t, p.store.NumColumns(), p.cfg)
+	if err != nil {
+		return fmt.Errorf("shapley: completing utility matrix: %w", err)
+	}
+	p.completion = res
+	return nil
+}
+
+// Extract takes the exact Shapley value of the completed, per-round-summed
+// utility.
+func (p *ExactPlan) Extract(ctx context.Context) (*ExactResult, error) {
+	if p.completion == nil {
+		return nil, errors.New("shapley: Extract before Complete")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := p.completion
+	// Sum the completed per-round utilities: Û(S) = Σ_t w_tᵀ h_S.
+	summed := make([]float64, 1<<uint(p.n))
+	for mask := uint64(1); mask < 1<<uint(p.n); mask++ {
+		col := int(mask) - 1
+		var s float64
+		for round := 0; round < p.t; round++ {
+			s += res.Predict(round, col)
+		}
+		summed[mask] = s
+	}
+	values := Exact(p.n, func(mask uint64) float64 { return summed[mask] })
+	return &ExactResult{Values: values, Completion: res, Store: p.store}, nil
+}

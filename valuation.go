@@ -1,0 +1,197 @@
+package comfedsv
+
+import (
+	"context"
+	"sync/atomic"
+
+	"comfedsv/internal/mc"
+	"comfedsv/internal/shapley"
+	"comfedsv/internal/utility"
+)
+
+// Valuation is one valuation job's staged execution over a TrainedRun: the
+// post-training pipeline decomposed into the schedulable stage graph the
+// comfedsvd scheduler runs on its shared worker pool —
+//
+//	Prepare        final-model metrics, FedSV, observation-plan setup
+//	ObserveShard×S disjoint Monte-Carlo permutation slices evaluate their
+//	               prefix cells (safe to run concurrently)
+//	Complete       deterministic serial-order merge into the utility
+//	               matrix, then the ALS completion solve
+//	Extract        Shapley extraction and report assembly
+//
+// Run drives the stages serially; Value/ValueCtx and ValueRun/ValueRunCtx
+// are thin wrappers over it. The report is byte-identical (under JSON
+// encoding) for every shard count, shard execution order, and shard
+// concurrency: cell values are deterministic memoized functions of the
+// trace, and the merge step records observations in the serial pipeline's
+// order no matter how they were computed.
+//
+// Each Valuation owns a fresh Session over the run's shared evaluator, so
+// concurrent Valuations over one TrainedRun amortize test-loss evaluations
+// while UtilityCalls stays the exact per-job bill. The stage methods other
+// than ObserveShard must be called in order, each after the previous stage
+// (and, for Complete, every shard) finished; out-of-order calls fail loudly.
+type Valuation struct {
+	tr      *TrainedRun
+	session *utility.Session
+	opts    Options
+
+	report   *Report
+	mcPlan   *shapley.MonteCarloPlan
+	exact    *shapley.ExactPlan
+	shards   int
+	observed atomic.Int64
+}
+
+// NewValuation returns a staged valuation of the run under the
+// valuation-relevant options (Rank, MonteCarloSamples, Seed, Parallelism,
+// Shards, OnProgress — validated exactly as the inline path validates
+// them).
+func NewValuation(tr *TrainedRun, opts Options) *Valuation {
+	return &Valuation{tr: tr, session: tr.eval.NewSession(), opts: opts}
+}
+
+func (v *Valuation) emit(p Progress) {
+	if v.opts.OnProgress != nil {
+		v.opts.OnProgress(p)
+	}
+}
+
+// Prepare computes the final-model metrics and the FedSV baseline, then
+// builds the ComFedSV observation plan. It returns the number of
+// observation shards to schedule (always 1 for the exact pipeline — its
+// observation region has no permutation structure to shard).
+func (v *Valuation) Prepare(ctx context.Context) (int, error) {
+	loss, acc := v.tr.finalMetrics()
+	v.report = &Report{FinalTestLoss: loss, FinalAccuracy: acc}
+
+	v.emit(Progress{Stage: StageFedSV, Done: 0, Total: 1})
+	fedsv, err := shapley.FedSVCtx(ctx, v.session)
+	if err != nil {
+		return 0, stageErr(ctx, "fedsv", err)
+	}
+	v.report.FedSV = fedsv
+	v.emit(Progress{Stage: StageFedSV, Done: 1, Total: 1})
+
+	mcCfg := mc.DefaultConfig(v.opts.Rank)
+	mcCfg.Workers = v.opts.Parallelism
+	if v.opts.MonteCarloSamples > 0 {
+		plan, err := shapley.NewMonteCarloPlan(ctx, v.session, shapley.MonteCarloConfig{
+			Samples:    v.opts.MonteCarloSamples,
+			Completion: mcCfg,
+			Seed:       v.opts.Seed + 1,
+			Workers:    v.opts.Parallelism,
+			Shards:     v.opts.Shards,
+		})
+		if err != nil {
+			return 0, stageErr(ctx, "valuation", err)
+		}
+		v.mcPlan = plan
+		v.shards = plan.Shards()
+	} else {
+		plan, err := shapley.NewExactPlan(v.session, mcCfg)
+		if err != nil {
+			return 0, stageErr(ctx, "valuation", err)
+		}
+		v.exact = plan
+		v.shards = 1
+	}
+	v.emit(Progress{Stage: StageObserve, Done: 0, Total: v.shards})
+	return v.shards, nil
+}
+
+// Shards returns the observation shard count decided by Prepare.
+func (v *Valuation) Shards() int { return v.shards }
+
+// ObserveShard evaluates one observation shard's utility cells through the
+// session. Distinct shards are safe to run concurrently; each uses up to
+// Options.Parallelism goroutines of its own.
+func (v *Valuation) ObserveShard(ctx context.Context, shard int) error {
+	var err error
+	if v.mcPlan != nil {
+		err = v.mcPlan.ObserveShard(ctx, shard)
+	} else {
+		err = v.exact.Observe(ctx)
+	}
+	if err != nil {
+		return stageErr(ctx, "valuation", err)
+	}
+	v.emit(Progress{Stage: StageObserve, Done: int(v.observed.Add(1)), Total: v.shards})
+	return nil
+}
+
+// Complete merges the shard observations in deterministic serial order and
+// solves the matrix-completion problem.
+func (v *Valuation) Complete(ctx context.Context) error {
+	v.emit(Progress{Stage: StageComplete, Done: 0, Total: 1})
+	if v.mcPlan != nil {
+		if err := v.mcPlan.Merge(ctx); err != nil {
+			return stageErr(ctx, "valuation", err)
+		}
+		if err := v.mcPlan.Complete(ctx); err != nil {
+			return stageErr(ctx, "valuation", err)
+		}
+	} else {
+		if err := v.exact.Complete(ctx); err != nil {
+			return stageErr(ctx, "valuation", err)
+		}
+	}
+	v.emit(Progress{Stage: StageComplete, Done: 1, Total: 1})
+	return nil
+}
+
+// Extract computes the ComFedSV values from the completed factorization
+// and assembles the final report.
+func (v *Valuation) Extract(ctx context.Context) (*Report, error) {
+	v.emit(Progress{Stage: StageShapley, Done: 0, Total: 1})
+	if v.mcPlan != nil {
+		res, err := v.mcPlan.Extract(ctx)
+		if err != nil {
+			return nil, stageErr(ctx, "valuation", err)
+		}
+		v.report.ComFedSV = res.Values
+		v.report.ObservedDensity = res.Store.Density()
+		v.report.CompletionRMSE = res.Completion.TrainRMSE
+	} else {
+		res, err := v.exact.Extract(ctx)
+		if err != nil {
+			return nil, stageErr(ctx, "valuation", err)
+		}
+		v.report.ComFedSV = res.Values
+		v.report.ObservedDensity = res.Store.Density()
+		v.report.CompletionRMSE = res.Completion.TrainRMSE
+	}
+	// The session counts the distinct cells *this* valuation requested —
+	// what a standalone evaluator would have paid — so run-backed reports
+	// stay byte-identical to inline ones.
+	v.report.UtilityCalls = v.session.Calls()
+	v.emit(Progress{Stage: StageShapley, Done: 1, Total: 1})
+	return v.report, nil
+}
+
+// Stats returns the session's hit/miss ledger: how many of this
+// valuation's distinct utility cells were amortized by the run's shared
+// cache versus freshly evaluated.
+func (v *Valuation) Stats() EvalStats {
+	return EvalStats{Hits: v.session.Hits(), Misses: v.session.Misses()}
+}
+
+// Run drives every stage serially: prepare, each observation shard in
+// order, complete, extract. It is the one-goroutine execution of the same
+// graph the comfedsvd scheduler interleaves across its pool.
+func (v *Valuation) Run(ctx context.Context) (*Report, error) {
+	shards, err := v.Prepare(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for shard := 0; shard < shards; shard++ {
+		if err := v.ObserveShard(ctx, shard); err != nil {
+			return nil, err
+		}
+	}
+	if err := v.Complete(ctx); err != nil {
+		return nil, err
+	}
+	return v.Extract(ctx)
+}
