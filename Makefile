@@ -1,0 +1,32 @@
+# Developer entry points. `make bench` regenerates the perf-anchor JSON
+# (see README "Observability" and the committed BENCH_XXXX.json snapshots);
+# `make bench-smoke` is the CI-sized variant.
+
+GO    ?= go
+OUT   ?= bench.json
+CPUS  ?= 1,2,4
+
+.PHONY: build vet test race bench bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full perf anchor: sweeps GOMAXPROCS over $(CPUS) and writes $(OUT).
+# To commit a new trajectory point: make bench OUT=BENCH_XXXX.json
+# (next number in sequence), then record the delta in CHANGES.md.
+bench:
+	$(GO) run ./cmd/benchjson -cpu $(CPUS) -out $(OUT)
+
+# CI-sized smoke: small fixtures, single repetition, one GOMAXPROCS value.
+# Proves the harness runs and the JSON schema stays parseable.
+bench-smoke:
+	$(GO) run ./cmd/benchjson -quick -cpu 1 -out $(OUT)

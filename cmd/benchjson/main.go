@@ -1,0 +1,362 @@
+// Command benchjson runs the repo's perf-anchor benchmarks and emits one
+// machine-readable JSON document, the format committed as BENCH_XXXX.json
+// snapshots (see README "Observability"). Three scenarios cover the three
+// cost centers of the valuation pipeline:
+//
+//   - als_completion: the ALS matrix-completion solver on the realistic
+//     60×400 rank-5 utility-matrix shape (internal/mc's hot path),
+//   - observation_throughput: cold-cache permutation-prefix test-loss
+//     evaluation fanned out over a worker pool (Algorithm 1's dominant
+//     cost),
+//   - mixed_load_small_job_latency: time-to-first-report for a small job
+//     submitted behind a large sharded job on a one-worker scheduler (the
+//     quantity the stage-graph scheduler exists to bound).
+//
+// The first two run once per -cpu entry with GOMAXPROCS pinned, so a
+// single document records the scaling curve. Numbers are comparable only
+// across snapshots taken on the same hardware; each document records
+// NumCPU so a reader can tell when the host could not exercise a
+// multicore claim.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"comfedsv"
+	"comfedsv/internal/dataset"
+	"comfedsv/internal/fl"
+	"comfedsv/internal/mc"
+	"comfedsv/internal/model"
+	"comfedsv/internal/rng"
+	"comfedsv/internal/service"
+	"comfedsv/internal/utility"
+)
+
+type benchResult struct {
+	Name        string             `json:"name"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Workers     int                `json:"workers,omitempty"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+type document struct {
+	Schema      string        `json:"schema"`
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	NumCPU      int           `json:"num_cpu"`
+	Quick       bool          `json:"quick,omitempty"`
+	Note        string        `json:"note"`
+	Benchmarks  []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "", "write the JSON document here (empty = stdout)")
+		cpus  = flag.String("cpu", "1,2,4", "comma-separated GOMAXPROCS values to sweep")
+		quick = flag.Bool("quick", false, "CI-sized fixtures: smaller matrices and jobs, one repetition")
+	)
+	flag.Parse()
+
+	var cpuList []int
+	for _, s := range strings.Split(*cpus, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -cpu entry %q\n", s)
+			os.Exit(2)
+		}
+		cpuList = append(cpuList, n)
+	}
+
+	doc := document{
+		Schema:      "comfedsv-bench/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Quick:       *quick,
+		Note: "Perf anchor for the ComFedSV valuation pipeline. ns_per_op values are " +
+			"comparable only across documents generated on the same hardware; when " +
+			"num_cpu < gomaxprocs the host cannot exercise multicore scaling and the " +
+			"sweep measures scheduling overhead only.",
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	// --- als_completion ---
+	rows, cols := 60, 400
+	if *quick {
+		rows, cols = 30, 160
+	}
+	obs := synthEntries(rows, cols, 5, 0.15, 42)
+	for _, cpu := range cpuList {
+		runtime.GOMAXPROCS(cpu)
+		cfg := mc.DefaultConfig(5)
+		cfg.Workers = cpu
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mc.Complete(obs, rows, cols, cfg); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			fail(fmt.Errorf("als_completion: %w", benchErr))
+		}
+		doc.Benchmarks = append(doc.Benchmarks, toResult("als_completion", cpu, cpu, r))
+		fmt.Fprintf(os.Stderr, "als_completion gomaxprocs=%d: %v\n", cpu, r)
+	}
+
+	// --- observation_throughput ---
+	clients, rounds, perRound, cellsPerRound := 8, 6, 3, 24
+	if *quick {
+		clients, rounds, perRound, cellsPerRound = 6, 4, 2, 8
+	}
+	eval, err := buildEvaluator(clients, rounds, perRound)
+	if err != nil {
+		fail(fmt.Errorf("observation fixture: %w", err))
+	}
+	run := eval.Run()
+	cells := observationCells(clients, rounds, cellsPerRound)
+	ctx := context.Background()
+	for _, cpu := range cpuList {
+		runtime.GOMAXPROCS(cpu)
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// A cold evaluator per iteration: the measured work is the
+				// distinct-cell test-loss evaluations, not memo-table hits.
+				cold := utility.NewEvaluator(run)
+				if _, err := cold.UtilityBatchCtx(ctx, cells, cpu); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			fail(fmt.Errorf("observation_throughput: %w", benchErr))
+		}
+		res := toResult("observation_throughput", cpu, cpu, r)
+		res.Extra = map[string]float64{"cells": float64(len(cells))}
+		doc.Benchmarks = append(doc.Benchmarks, res)
+		fmt.Fprintf(os.Stderr, "observation_throughput gomaxprocs=%d: %v\n", cpu, r)
+	}
+
+	// --- mixed_load_small_job_latency ---
+	// Timed manually rather than via testing.Benchmark: each repetition
+	// carries an expensive unmeasured big job, so iteration count must be
+	// bounded, not benchtime-driven.
+	reps := 3
+	bigSamples, bigShards := 400, 8
+	if *quick {
+		reps, bigSamples, bigShards = 1, 100, 4
+	}
+	for _, cpu := range cpuList {
+		runtime.GOMAXPROCS(cpu)
+		var total time.Duration
+		for i := 0; i < reps; i++ {
+			lat, err := mixedLoadOnce(bigSamples, bigShards)
+			if err != nil {
+				fail(fmt.Errorf("mixed_load: %w", err))
+			}
+			total += lat
+		}
+		mean := total / time.Duration(reps)
+		doc.Benchmarks = append(doc.Benchmarks, benchResult{
+			Name:       "mixed_load_small_job_latency",
+			GOMAXPROCS: cpu,
+			Workers:    1,
+			Iterations: reps,
+			NsPerOp:    mean.Nanoseconds(),
+			Extra: map[string]float64{
+				"big_job_mc_samples": float64(bigSamples),
+				"big_job_shards":     float64(bigShards),
+			},
+		})
+		fmt.Fprintf(os.Stderr, "mixed_load_small_job_latency gomaxprocs=%d: %v/op (%d reps)\n", cpu, mean, reps)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(doc.Benchmarks))
+}
+
+func toResult(name string, cpu, workers int, r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		Name:        name,
+		GOMAXPROCS:  cpu,
+		Workers:     workers,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// synthEntries samples a density-fraction of a random rank-`rank` matrix —
+// the observation pattern the completion solver sees in production, the
+// same fixture shape as internal/mc's BenchmarkComplete.
+func synthEntries(rows, cols, rank int, density float64, seed int64) []mc.Entry {
+	g := rng.New(seed)
+	w := make([][]float64, rows)
+	for i := range w {
+		w[i] = make([]float64, rank)
+		for k := range w[i] {
+			w[i][k] = g.Normal(0, 1)
+		}
+	}
+	h := make([][]float64, cols)
+	for j := range h {
+		h[j] = make([]float64, rank)
+		for k := range h[j] {
+			h[j][k] = g.Normal(0, 1)
+		}
+	}
+	var out []mc.Entry
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if g.Float64() < density {
+				v := 0.0
+				for k := 0; k < rank; k++ {
+					v += w[i][k] * h[j][k]
+				}
+				out = append(out, mc.Entry{Row: i, Col: j, Val: v})
+			}
+		}
+	}
+	return out
+}
+
+// buildEvaluator trains a small federated run and wraps it in a utility
+// evaluator, mirroring the root package's benchmark fixture.
+func buildEvaluator(clients, rounds, perRound int) (*utility.Evaluator, error) {
+	full := dataset.GenerateImages(dataset.MNISTLikeConfig(201), clients*25+50)
+	g := rng.New(202)
+	train, test := dataset.TrainTestSplit(full, 50.0/float64(full.Len()), g)
+	parts := dataset.PartitionIID(train, clients, g)
+	m := model.NewMLP(full.Dim(), 6, full.NumClasses)
+	cfg := fl.DefaultConfig(rounds, perRound)
+	cfg.LearningRate = 0.1
+	run, err := fl.TrainRun(cfg, m, parts, test)
+	if err != nil {
+		return nil, err
+	}
+	return utility.NewEvaluator(run), nil
+}
+
+// observationCells builds a deterministic batch of permutation-prefix
+// utility-matrix cells across rounds.
+func observationCells(clients, rounds, perRound int) []utility.Cell {
+	g := rng.New(77)
+	var cells []utility.Cell
+	for round := 0; round < rounds; round++ {
+		for m := 0; m < perRound; m++ {
+			perm := g.Perm(clients)
+			s := utility.NewSet(clients)
+			for _, c := range perm[:1+m%4] {
+				s.Add(c)
+			}
+			cells = append(cells, utility.Cell{Round: round, Subset: s})
+		}
+	}
+	return cells
+}
+
+// mixedRequest builds a deterministic valuation request scaled by client
+// count, Monte-Carlo samples, rounds, and shards.
+func mixedRequest(seed int64, clients, samples, rounds, shards int) service.Request {
+	mk := func(off float64, points int) comfedsv.Client {
+		var c comfedsv.Client
+		for i := 0; i < points; i++ {
+			x := off + float64(i)*0.17
+			label := 0
+			if x > 1 {
+				label = 1
+			}
+			c.X = append(c.X, []float64{x, 1 - x})
+			c.Y = append(c.Y, label)
+		}
+		return c
+	}
+	var cs []comfedsv.Client
+	for i := 0; i < clients; i++ {
+		cs = append(cs, mk(-0.5+float64(i)*0.2, 24))
+	}
+	opts := comfedsv.DefaultOptions(2)
+	opts.Rounds = rounds
+	opts.ClientsPerRound = 3
+	opts.Seed = seed
+	opts.MonteCarloSamples = samples
+	opts.Shards = shards
+	return service.Request{Clients: cs, Test: mk(0.25, 32), Options: opts}
+}
+
+// mixedLoadOnce runs one big-job-then-small-job pair on a one-worker
+// scheduler and returns the small job's submit→report latency. The big job
+// is cancelled once the small job finishes, so a repetition's cost is
+// bounded by the measured quantity, not the big job's full runtime.
+func mixedLoadOnce(bigSamples, bigShards int) (time.Duration, error) {
+	m, err := service.NewManager(service.Config{Workers: 1})
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	}()
+	idBig, err := m.Submit(mixedRequest(61, 12, bigSamples, 10, bigShards))
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	idSmall, err := m.Submit(mixedRequest(62, 4, 0, 4, 1))
+	if err != nil {
+		return 0, err
+	}
+	for {
+		st, err := m.Status(idSmall)
+		if err != nil {
+			return 0, err
+		}
+		if st.State.Terminal() {
+			if st.State != service.StateDone {
+				return 0, fmt.Errorf("small job finished %s (%s)", st.State, st.Error)
+			}
+			break
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	lat := time.Since(start)
+	m.Cancel(idBig)
+	return lat, nil
+}

@@ -11,17 +11,21 @@
 // can be registered once as shared /v1/runs resources (content-addressed,
 // optionally persisted via -runs-dir) and referenced by any number of jobs
 // through "run_id", which amortizes the training trace and the test-loss
-// evaluator cache across jobs. /v1/metrics exposes scheduler counters in
-// Prometheus text format. See internal/api for the route table and
-// README.md for curl examples.
+// evaluator cache across jobs. /v1/metrics exposes scheduler counters and
+// per-stage latency histograms in Prometheus text format; -pprof-addr
+// serves net/http/pprof on a separate listener. All daemon output is
+// structured log/slog (text by default, -log-json for JSON), with job and
+// run IDs attached to lifecycle events. See internal/api for the route
+// table and README.md for curl examples.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,17 +38,38 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "scheduler worker goroutines, each running one stage task at a time (0 = GOMAXPROCS)")
-		par      = flag.Int("parallelism", 0, "per-task CPU parallelism for jobs that don't set it (0 = fair share of GOMAXPROCS across workers)")
-		shards   = flag.Int("shards", 0, "observation shards per job for jobs that don't set it (0 = 1; sharding never changes a report)")
-		queue    = flag.Int("queue", 64, "max queued jobs before submissions are rejected")
-		storeDir = flag.String("store", "", "directory for persisted job reports (empty = in-memory only)")
-		runsDir  = flag.String("runs-dir", "", "directory for persisted shared training runs (empty = in-memory only)")
-		jobTTL   = flag.Duration("job-ttl", 0, "evict terminal jobs (memory and store) this long after they finish (0 = keep forever)")
-		timeout  = flag.Duration("drain", 30*time.Second, "max time to drain running jobs on shutdown")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "scheduler worker goroutines, each running one stage task at a time (0 = GOMAXPROCS)")
+		par       = flag.Int("parallelism", 0, "per-task CPU parallelism for jobs that don't set it (0 = fair share of GOMAXPROCS across workers)")
+		shards    = flag.Int("shards", 0, "observation shards per job for jobs that don't set it (0 = 1; sharding never changes a report)")
+		queue     = flag.Int("queue", 64, "max queued jobs before submissions are rejected")
+		storeDir  = flag.String("store", "", "directory for persisted job reports (empty = in-memory only)")
+		runsDir   = flag.String("runs-dir", "", "directory for persisted shared training runs (empty = in-memory only)")
+		jobTTL    = flag.Duration("job-ttl", 0, "evict terminal jobs (memory and store) this long after they finish (0 = keep forever)")
+		timeout   = flag.Duration("drain", 30*time.Second, "max time to drain running jobs on shutdown")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled); keep it off any public interface")
+		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of logfmt-style text")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (per-request access logs are debug)")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "comfedsvd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, hopts)
+	}
+	logger := slog.New(handler)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(2)
+	}
 
 	cfg := service.Config{
 		Workers:            *workers,
@@ -52,32 +77,34 @@ func main() {
 		DefaultParallelism: *par,
 		DefaultShards:      *shards,
 		JobTTL:             *jobTTL,
+		Logger:             logger,
 	}
 	if *storeDir != "" {
 		store, err := persist.NewJobStore(*storeDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "comfedsvd:", err)
-			os.Exit(2)
+			fatal("opening job store", err)
 		}
 		cfg.Store = store
 	}
 	if *runsDir != "" {
 		runStore, err := persist.NewRunStore(*runsDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "comfedsvd:", err)
-			os.Exit(2)
+			fatal("opening run store", err)
 		}
 		cfg.RunStore = runStore
 	}
 	mgr, err := service.NewManager(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "comfedsvd:", err)
-		os.Exit(2)
+		fatal("starting manager", err)
 	}
 
+	apiSrv := api.NewServer(mgr)
+	// Access logs are chatty under load, so they go out at debug level;
+	// lifecycle events (submit/start/done/failed) stay at info.
+	apiSrv.SetLogger(slog.New(handler).With("component", "http"))
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           api.NewServer(mgr).Handler(),
+		Handler:           apiSrv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		// Bound the whole request read: without it a client trickling a
 		// large job body holds a connection and goroutine open forever.
@@ -85,33 +112,60 @@ func main() {
 		IdleTimeout: 2 * time.Minute,
 	}
 
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener so profiling is never
+		// reachable through the public API port.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("pprof server", "error", err)
+			}
+		}()
+		defer psrv.Close()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("comfedsvd: listening on %s (workers=%d parallelism=%d shards=%d queue=%d store=%q runs-dir=%q job-ttl=%v)",
-		*addr, mgr.Workers(), mgr.DefaultParallelism(), mgr.DefaultShards(), *queue, *storeDir, *runsDir, *jobTTL)
+	logger.Info("listening",
+		"addr", *addr,
+		"workers", mgr.Workers(),
+		"parallelism", mgr.DefaultParallelism(),
+		"shards", mgr.DefaultShards(),
+		"queue", *queue,
+		"store", *storeDir,
+		"runs_dir", *runsDir,
+		"job_ttl", *jobTTL,
+	)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("comfedsvd: server: %v", err)
+		fatal("server", err)
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling: a second ^C kills immediately
 
-	log.Printf("comfedsvd: shutting down (draining up to %v)", *timeout)
+	logger.Info("shutting down", "drain", *timeout)
 	// Separate budgets: a stalled HTTP client must not eat into the time
 	// promised to running jobs by -drain.
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 10*time.Second)
 	if err := srv.Shutdown(httpCtx); err != nil {
-		log.Printf("comfedsvd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	cancelHTTP()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	if err := mgr.Shutdown(drainCtx); err != nil {
-		log.Printf("comfedsvd: job drain: %v (queued and running jobs were aborted)", err)
+		logger.Warn("job drain: queued and running jobs were aborted", "error", err)
 	}
-	log.Print("comfedsvd: bye")
+	logger.Info("bye")
 }

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"comfedsv/internal/dataset"
 	"comfedsv/internal/fl"
@@ -87,6 +88,26 @@ type Options struct {
 	// runs shards in parallel, so the callback must be safe for concurrent
 	// use and cheap; it does not affect the computed values.
 	OnProgress func(Progress) `json:"-"`
+	// OnStageTime, if non-nil, receives the wall-clock duration of every
+	// completed pipeline stage execution — the telemetry hook the comfedsvd
+	// daemon feeds its per-stage latency histograms from. Observation-shard
+	// events may be delivered concurrently when a scheduler runs shards in
+	// parallel, so the callback must be safe for concurrent use and cheap;
+	// it only observes and never affects the computed values.
+	OnStageTime func(StageTiming) `json:"-"`
+}
+
+// StageTiming reports one completed pipeline-stage execution to
+// Options.OnStageTime.
+type StageTiming struct {
+	// Stage is one of StageTrain, StageFedSV, StageObserve, StageComplete,
+	// StageShapley.
+	Stage string
+	// Shard is the observation shard index for StageObserve events, -1 for
+	// every other stage.
+	Shard int
+	// Duration is the stage execution's wall-clock time.
+	Duration time.Duration
 }
 
 // Progress describes how far a valuation run has advanced. During the
@@ -309,9 +330,13 @@ func TrainCtx(ctx context.Context, clients []Client, test Client, opts Options) 
 		progress(Progress{Stage: StageTrain, Done: done, Total: total})
 	}
 	progress(Progress{Stage: StageTrain, Done: 0, Total: flCfg.Rounds})
+	start := time.Now()
 	run, err := fl.TrainRunCtx(ctx, flCfg, m, locals, testSet)
 	if err != nil {
 		return nil, stageErr(ctx, "training", err)
+	}
+	if opts.OnStageTime != nil {
+		opts.OnStageTime(StageTiming{Stage: StageTrain, Shard: -1, Duration: time.Since(start)})
 	}
 	return NewTrainedRun(run), nil
 }

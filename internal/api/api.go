@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -33,6 +34,7 @@ import (
 
 	"comfedsv"
 	"comfedsv/internal/service"
+	"comfedsv/internal/telemetry"
 )
 
 // maxRequestBytes bounds a job submission body (feature matrices can be
@@ -43,6 +45,7 @@ const maxRequestBytes = 256 << 20
 type Server struct {
 	mgr     *service.Manager
 	started time.Time
+	log     *slog.Logger
 }
 
 // NewServer wraps a manager.
@@ -50,7 +53,14 @@ func NewServer(mgr *service.Manager) *Server {
 	return &Server{mgr: mgr, started: time.Now()}
 }
 
-// Handler returns the daemon's route table.
+// SetLogger enables structured request logging: one record per completed
+// request with method, path, status, duration, and response size. Call
+// before Handler; a nil logger (the default) disables the middleware
+// entirely.
+func (s *Server) SetLogger(l *slog.Logger) { s.log = l }
+
+// Handler returns the daemon's route table, wrapped in the request-logging
+// middleware when a logger is set.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.submit)
@@ -65,7 +75,56 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.deleteRun)
 	mux.HandleFunc("GET /v1/healthz", s.healthz)
 	mux.HandleFunc("GET /v1/metrics", s.metrics)
-	return mux
+	if s.log == nil {
+		return mux
+	}
+	return s.logRequests(mux)
+}
+
+// statusRecorder captures the status code and body size a handler wrote,
+// for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// logRequests is the access-log middleware: every completed request emits
+// one structured record, at debug level since per-request records are
+// chatty under load. Logging happens after the response is written, so a
+// slow log sink delays the connection's reuse, never the response.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.log.Debug("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration_ms", time.Since(start).Milliseconds(),
+			"bytes", rec.bytes,
+		)
+	})
 }
 
 // clientJSON is the wire form of one data owner's local dataset.
@@ -398,7 +457,8 @@ func (s *Server) deleteJob(w http.ResponseWriter, r *http.Request) {
 
 // metrics renders the scheduler counters in the Prometheus text exposition
 // format (version 0.0.4) — job states, queue and task depths, executed
-// stage tasks, TTL evictions, and the per-run utility-cache ledgers.
+// stage tasks, TTL evictions, the per-run utility-cache ledgers, and the
+// per-stage latency histograms (_bucket/_sum/_count series).
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	m := s.mgr.Metrics()
 	var b strings.Builder
@@ -442,6 +502,17 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	for _, rc := range m.RunCaches {
 		fmt.Fprintf(&b, "comfedsvd_run_cache_misses_total{run_id=%q} %d\n", rc.ID, rc.Misses)
 	}
+
+	telemetry.WritePrometheusFamily(&b, "comfedsvd_task_duration_seconds",
+		"Wall-clock execution time of scheduler stage tasks, by pipeline stage.",
+		"stage", m.TaskLatency)
+	telemetry.WritePrometheusFamily(&b, "comfedsvd_valuation_stage_duration_seconds",
+		"Wall-clock time of comfedsv pipeline stages (train and fedsv run inside the prepare task).",
+		"stage", m.ValuationStageLatency)
+	b.WriteString("# HELP comfedsvd_job_duration_seconds Submit-to-finish latency of completed jobs.\n# TYPE comfedsvd_job_duration_seconds histogram\n")
+	m.JobDuration.WritePrometheus(&b, "comfedsvd_job_duration_seconds", "")
+	b.WriteString("# HELP comfedsvd_job_queue_wait_seconds Submit-to-start queue wait of started jobs.\n# TYPE comfedsvd_job_queue_wait_seconds histogram\n")
+	m.JobQueueWait.WritePrometheus(&b, "comfedsvd_job_queue_wait_seconds", "")
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

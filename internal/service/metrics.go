@@ -1,5 +1,7 @@
 package service
 
+import "comfedsv/internal/telemetry"
+
 // Metrics is a point-in-time snapshot of the manager's operational
 // counters, the data source of the daemon's /v1/metrics endpoint. All
 // fields are plain values safe to retain and render after the lock is
@@ -28,6 +30,20 @@ type Metrics struct {
 	// order: misses are distinct test-loss evaluations paid for, hits are
 	// lookups amortized by the shared memo table.
 	RunCaches []RunCacheMetric
+
+	// TaskLatency holds per-stage latency histograms of scheduler task
+	// executions, keyed by stage name (prepare, observe, complete,
+	// shapley). Each observation is one task's wall-clock execution time.
+	TaskLatency map[string]telemetry.HistogramSnapshot
+	// ValuationStageLatency holds latency histograms of the comfedsv
+	// pipeline stages (train, fedsv, observe, complete, shapley) as
+	// reported by the library's stage-timing hook — a finer split than
+	// TaskLatency (train and fedsv both live inside the prepare task).
+	ValuationStageLatency map[string]telemetry.HistogramSnapshot
+	// JobDuration is the submit→finish latency histogram of done jobs;
+	// JobQueueWait is the submit→start wait of every job that started.
+	JobDuration  telemetry.HistogramSnapshot
+	JobQueueWait telemetry.HistogramSnapshot
 }
 
 // RunCacheMetric is one shared run's cumulative cache ledger.
@@ -42,12 +58,22 @@ func (m *Manager) Metrics() Metrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	snap := Metrics{
-		Jobs:          make(map[State]int, 4),
-		Runs:          make(map[RunState]int, 3),
-		QueuedJobs:    m.queued,
-		InflightTasks: m.inflight,
-		TasksExecuted: make(map[string]int64, len(m.tasksDone)),
-		JobsEvicted:   m.jobsEvicted,
+		Jobs:                  make(map[State]int, 4),
+		Runs:                  make(map[RunState]int, 3),
+		QueuedJobs:            m.queued,
+		InflightTasks:         m.inflight,
+		TasksExecuted:         make(map[string]int64, len(m.tasksDone)),
+		JobsEvicted:           m.jobsEvicted,
+		TaskLatency:           make(map[string]telemetry.HistogramSnapshot, len(m.taskHist)),
+		ValuationStageLatency: make(map[string]telemetry.HistogramSnapshot, len(m.valHist)),
+		JobDuration:           m.jobHist.Snapshot(),
+		JobQueueWait:          m.waitHist.Snapshot(),
+	}
+	for stage, h := range m.taskHist {
+		snap.TaskLatency[stage] = h.Snapshot()
+	}
+	for stage, h := range m.valHist {
+		snap.ValuationStageLatency[stage] = h.Snapshot()
 	}
 	for _, j := range m.jobs {
 		snap.Jobs[j.state]++

@@ -211,13 +211,38 @@ func (m *Manager) CreateRun(spec RunSpec) (RunStatus, bool, error) {
 	m.runWG.Add(1)
 	st := m.runStatusLocked(e)
 	m.mu.Unlock()
+	m.logRun("run registered", id, "clients", len(spec.Clients))
 	go m.trainRun(ctx, e, spec)
 	return st, true, nil
+}
+
+// logRun emits one run-lifecycle record when a logger is configured.
+// Callers must not hold m.mu.
+func (m *Manager) logRun(msg, id string, args ...any) {
+	if m.cfg.Logger == nil {
+		return
+	}
+	fields := make([]any, 0, len(args)+2)
+	fields = append(fields, "run_id", id)
+	fields = append(fields, args...)
+	m.cfg.Logger.Info(msg, fields...)
 }
 
 // trainRun executes one shared run's training and publishes the result.
 func (m *Manager) trainRun(ctx context.Context, e *runEntry, spec RunSpec) {
 	defer m.runWG.Done()
+	// Shared-run trainings feed the same train-stage latency histogram as
+	// inline-job trainings (the hook only observes; run identity ignores
+	// it, and Options is this goroutine's copy of the spec).
+	prevTime := spec.Options.OnStageTime
+	spec.Options.OnStageTime = func(st comfedsv.StageTiming) {
+		if h, ok := m.valHist[st.Stage]; ok {
+			h.ObserveDuration(st.Duration)
+		}
+		if prevTime != nil {
+			prevTime(st)
+		}
+	}
 	tr, err := m.train(ctx, spec)
 	// Like job reports, a persistence failure must not discard a
 	// successfully trained run: it stays usable in memory with the store
@@ -230,7 +255,6 @@ func (m *Manager) trainRun(ctx context.Context, e *runEntry, spec RunSpec) {
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	e.cancelTrain = nil
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -250,6 +274,12 @@ func (m *Manager) trainRun(ctx context.Context, e *runEntry, spec RunSpec) {
 	close(e.done)
 	// Queued jobs referencing this run just became eligible; wake the pool.
 	m.cond.Broadcast()
+	m.mu.Unlock()
+	if err != nil {
+		m.logRun("run training failed", e.id, "error", err.Error())
+	} else {
+		m.logRun("run ready", e.id, "train_ms", e.trained.Sub(e.created).Milliseconds(), "rounds", e.rounds)
+	}
 }
 
 // train runs one training, converting a panic into a run failure so one

@@ -19,12 +19,14 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
 	"comfedsv"
 	"comfedsv/internal/persist"
+	"comfedsv/internal/telemetry"
 )
 
 // State is a job's lifecycle phase.
@@ -85,6 +87,13 @@ type Status struct {
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	// StageSeconds is the job's cumulative wall-clock execution time by
+	// scheduler stage (prepare / observe / complete / shapley), summed
+	// across the stage's tasks — observe is the total over all shards, not
+	// elapsed time, so with parallel shards it can exceed finished−started.
+	// Empty until the first task finishes.
+	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
 }
 
 // Errors returned by Manager methods.
@@ -142,6 +151,11 @@ type Config struct {
 	// ValueRun, if non-nil, replaces the staged pipeline for run-backed
 	// jobs with a single monolithic task. Nil runs the staged pipeline.
 	ValueRun func(ctx context.Context, tr *comfedsv.TrainedRun, opts comfedsv.Options) (*comfedsv.Report, comfedsv.EvalStats, error)
+	// Logger, if non-nil, receives structured job and run lifecycle events
+	// (submit/start/finish/fail/evict transitions with job and run IDs).
+	// Nil disables lifecycle logging. The logger only observes; it never
+	// affects scheduling or reports.
+	Logger *slog.Logger
 
 	// buildValuation, if non-nil, replaces the whole staged pipeline —
 	// in-package tests use it to script task graphs with controlled
@@ -166,6 +180,12 @@ type job struct {
 	runID       string
 	runReleased bool
 	cacheStats  *comfedsv.EvalStats
+
+	// stageNanos accumulates wall-clock execution time by stage name
+	// across the job's tasks (shard durations sum into one observe entry).
+	// Guarded by Manager.mu; retained after the terminal state so status
+	// keeps reporting where the job's time went.
+	stageNanos map[string]int64
 
 	// Scheduler state. ctx spans the job's whole execution; cancel is
 	// called on Cancel, failure, completion, and abort. ready holds the
@@ -238,6 +258,18 @@ type Manager struct {
 	tasksDone   map[string]int64 // executed task counts by stage name
 	jobsEvicted int64
 	janitorStop chan struct{}
+
+	// Latency telemetry. taskHist holds per-stage task-execution
+	// histograms (map writes guarded by mu; the histograms themselves are
+	// atomic). valHist holds per-pipeline-stage histograms fed by the
+	// comfedsv.Options.OnStageTime hook — its keys are fixed at
+	// construction and the map is never written afterwards, so the hook
+	// reads it without the lock. jobHist tracks submit→finish of done
+	// jobs; waitHist tracks submit→start queue wait.
+	taskHist map[string]*telemetry.Histogram
+	valHist  map[string]*telemetry.Histogram
+	jobHist  *telemetry.Histogram
+	waitHist *telemetry.Histogram
 }
 
 // NewManager starts a manager and its worker pool. If cfg.Store holds
@@ -268,6 +300,16 @@ func NewManager(cfg Config) (*Manager, error) {
 		runs:        make(map[string]*runEntry),
 		tasksDone:   make(map[string]int64),
 		janitorStop: make(chan struct{}),
+		taskHist:    make(map[string]*telemetry.Histogram, 4),
+		valHist:     make(map[string]*telemetry.Histogram, 5),
+		jobHist:     telemetry.NewHistogram(),
+		waitHist:    telemetry.NewHistogram(),
+	}
+	for _, stage := range []string{taskPrepare, taskObserve, taskComplete, taskShapley} {
+		m.taskHist[stage] = telemetry.NewHistogram()
+	}
+	for _, stage := range []string{comfedsv.StageTrain, comfedsv.StageFedSV, comfedsv.StageObserve, comfedsv.StageComplete, comfedsv.StageShapley} {
+		m.valHist[stage] = telemetry.NewHistogram()
 	}
 	m.cond = sync.NewCond(&m.mu)
 	if cfg.RunStore != nil {
@@ -361,25 +403,40 @@ func (m *Manager) Submit(req Request) (string, error) {
 			prev(p)
 		}
 	}
+	prevTime := opts.OnStageTime
+	opts.OnStageTime = func(st comfedsv.StageTiming) {
+		// valHist's keys are fixed at construction, so this lookup is
+		// lock-free; unknown stages are dropped rather than racing a map
+		// write on the hot path.
+		if h, ok := m.valHist[st.Stage]; ok {
+			h.ObserveDuration(st.Duration)
+		}
+		if prevTime != nil {
+			prevTime(st)
+		}
+	}
 	j.opts = opts
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		cancel()
 		return "", ErrShutdown
 	}
 	if m.queued >= m.cfg.QueueDepth {
+		m.mu.Unlock()
 		cancel()
 		return "", ErrQueueFull
 	}
 	if req.RunID != "" {
 		if len(req.Clients) > 0 || len(req.Test.X) > 0 || len(req.Test.Y) > 0 {
+			m.mu.Unlock()
 			cancel()
 			return "", errors.New("service: request has both run_id and inline clients/test")
 		}
 		e, ok := m.runs[req.RunID]
 		if !ok {
+			m.mu.Unlock()
 			cancel()
 			return "", fmt.Errorf("%w: %s", ErrRunNotFound, req.RunID)
 		}
@@ -390,7 +447,27 @@ func (m *Manager) Submit(req Request) (string, error) {
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.enqueueLocked(j, m.prepareTask(j))
+	m.mu.Unlock()
+	m.logJob("job submitted", j, "shards_requested", opts.Shards, "parallelism", opts.Parallelism)
 	return j.id, nil
+}
+
+// logJob emits one job-lifecycle record when a logger is configured. The
+// attrs always include the job ID and, for run-backed jobs, the run ID.
+// Lifecycle transitions are rare next to task executions (the per-task hot
+// path never logs), so the terminal-state call sites tolerate holding m.mu
+// for the one-line write.
+func (m *Manager) logJob(msg string, j *job, args ...any) {
+	if m.cfg.Logger == nil {
+		return
+	}
+	fields := make([]any, 0, len(args)+4)
+	fields = append(fields, "job_id", j.id)
+	if j.runID != "" {
+		fields = append(fields, "run_id", j.runID)
+	}
+	fields = append(fields, args...)
+	m.cfg.Logger.Info(msg, fields...)
 }
 
 // Status returns a snapshot of the job.
@@ -603,16 +680,20 @@ func (m *Manager) popTaskLocked() *task {
 }
 
 // claimLocked accounts a popped task as running: the job's first task
-// moves it to StateRunning. Callers hold m.mu.
-func (m *Manager) claimLocked(t *task) {
+// moves it to StateRunning. It reports whether this claim performed that
+// queued→running transition, so the caller can record the queue wait and
+// log the start outside the lock. Callers hold m.mu.
+func (m *Manager) claimLocked(t *task) (startedNow bool) {
 	j := t.j
 	if j.state == StateQueued {
 		j.state = StateRunning
 		j.started = time.Now()
 		m.queued--
+		startedNow = true
 	}
 	j.inflight++
 	m.inflight++
+	return startedNow
 }
 
 func (m *Manager) worker() {
@@ -628,10 +709,18 @@ func (m *Manager) worker() {
 			m.cond.Wait()
 			t = m.popTaskLocked()
 		}
-		m.claimLocked(t)
+		startedNow := m.claimLocked(t)
 		m.mu.Unlock()
+		if startedNow {
+			// started and submitted are written once, before this point,
+			// so reading them without the lock is safe.
+			wait := t.j.started.Sub(t.j.submitted)
+			m.waitHist.ObserveDuration(wait)
+			m.logJob("job started", t.j, "queue_wait_ms", wait.Milliseconds())
+		}
+		start := time.Now()
 		err := m.execute(t)
-		m.taskDone(t, err)
+		m.taskDone(t, err, time.Since(start))
 	}
 }
 
@@ -653,13 +742,20 @@ func (m *Manager) execute(t *task) (err error) {
 // taskDone retires an executed task: on failure it cancels the job and
 // drains its remaining tasks; the job finalizes once its last in-flight
 // task returns. On success the task's done hook advances the stage graph.
-func (m *Manager) taskDone(t *task, err error) {
+// dur is the task's wall-clock execution time, recorded into the stage's
+// latency histogram and the job's per-stage duration map.
+func (m *Manager) taskDone(t *task, err error, dur time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j := t.j
 	j.inflight--
 	m.inflight--
 	m.tasksDone[t.stage]++
+	m.taskHistLocked(t.stage).ObserveDuration(dur)
+	if j.stageNanos == nil {
+		j.stageNanos = make(map[string]int64, 4)
+	}
+	j.stageNanos[t.stage] += dur.Nanoseconds()
 	if err != nil && j.failed == nil {
 		j.failed = err
 		j.cancel()
@@ -691,6 +787,18 @@ func (m *Manager) taskDone(t *task, err error) {
 	m.cond.Broadcast()
 }
 
+// taskHistLocked returns the latency histogram for a stage, creating it
+// for stage names outside the standard pipeline (scripted test graphs).
+// Callers hold m.mu.
+func (m *Manager) taskHistLocked(stage string) *telemetry.Histogram {
+	h, ok := m.taskHist[stage]
+	if !ok {
+		h = telemetry.NewHistogram()
+		m.taskHist[stage] = h
+	}
+	return h
+}
+
 // failLocked moves a non-terminal job to StateFailed, releases its request
 // payload and pipeline (client datasets can be large; only the report
 // matters after a terminal state), and drops its shared-run reference.
@@ -709,6 +817,7 @@ func (m *Manager) failLocked(j *job, err error) {
 	j.val = nil
 	j.ready = nil
 	m.releaseRunLocked(j)
+	m.logJob("job failed", j, "error", err.Error(), "duration_ms", j.finished.Sub(j.submitted).Milliseconds())
 }
 
 // completeJobLocked moves a job to StateDone after its extraction task
@@ -721,6 +830,9 @@ func (m *Manager) completeJobLocked(j *job) {
 	j.req = Request{}
 	j.val = nil
 	m.releaseRunLocked(j)
+	dur := j.finished.Sub(j.submitted)
+	m.jobHist.ObserveDuration(dur)
+	m.logJob("job done", j, "duration_ms", dur.Milliseconds(), "shards", j.shardsTotal)
 }
 
 // Shutdown stops accepting submissions and run registrations, drains
@@ -822,11 +934,17 @@ func (m *Manager) evictExpired(ttl time.Duration) {
 			}
 		}
 		m.mu.Lock()
-		if j, ok := m.jobs[id]; ok && j.state.Terminal() {
+		j, ok := m.jobs[id]
+		if ok && j.state.Terminal() {
 			m.removeJobLocked(id)
 			m.jobsEvicted++
+		} else {
+			j = nil
 		}
 		m.mu.Unlock()
+		if j != nil {
+			m.logJob("job evicted", j, "ttl", ttl.String())
+		}
 	}
 }
 
@@ -855,6 +973,12 @@ func (j *job) snapshot() Status {
 	if !j.finished.IsZero() {
 		t := j.finished
 		s.FinishedAt = &t
+	}
+	if len(j.stageNanos) > 0 {
+		s.StageSeconds = make(map[string]float64, len(j.stageNanos))
+		for stage, nanos := range j.stageNanos {
+			s.StageSeconds[stage] = float64(nanos) / 1e9
+		}
 	}
 	return s
 }

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+}
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := NewHistogram(0.01, 0.1, 1)
+	h.Observe(0.005)  // bucket 0 (<= 0.01)
+	h.Observe(0.01)   // bucket 0 (boundary is inclusive)
+	h.Observe(0.05)   // bucket 1
+	h.Observe(0.5)    // bucket 2
+	h.Observe(3)      // +Inf bucket
+	h.Observe(1000)   // +Inf bucket
+	s := h.Snapshot()
+	want := []uint64{2, 1, 1, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("Counts = %v, want %v", s.Counts, want)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count)
+	}
+	wantSum := 0.005 + 0.01 + 0.05 + 0.5 + 3 + 1000
+	if math.Abs(s.Sum-wantSum) > 1e-6 {
+		t.Fatalf("Sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram() // DefBuckets
+	for i := 0; i < 500; i++ {
+		h.Observe(float64(i) * 0.001)
+	}
+	s := h.Snapshot()
+	cum := s.Cumulative()
+	if len(cum) != len(s.Bounds)+1 {
+		t.Fatalf("len(cum) = %d, want %d", len(cum), len(s.Bounds)+1)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative not monotone at %d: %v", i, cum)
+		}
+	}
+	if cum[len(cum)-1] != s.Count {
+		t.Fatalf("+Inf cumulative = %d, want Count = %d", cum[len(cum)-1], s.Count)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram(0.001, 1)
+	h.ObserveDuration(1500 * time.Microsecond)
+	s := h.Snapshot()
+	if s.Counts[1] != 1 {
+		t.Fatalf("Counts = %v, want 1.5ms in bucket 1", s.Counts)
+	}
+	if math.Abs(s.Sum-0.0015) > 1e-12 {
+		t.Fatalf("Sum = %v, want 0.0015", s.Sum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveDuration(time.Duration(w*per+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*per)
+	}
+	n := int64(workers * per)
+	wantSum := float64(n*(n-1)/2) * 1e-6 // sum of 0..n-1 microseconds
+	if math.Abs(s.Sum-wantSum) > 1e-6 {
+		t.Fatalf("Sum = %v, want %v", s.Sum, wantSum)
+	}
+	cum := s.Cumulative()
+	if cum[len(cum)-1] != s.Count {
+		t.Fatalf("+Inf cumulative %d != Count %d", cum[len(cum)-1], s.Count)
+	}
+}
+
+func TestNewHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on unsorted bounds")
+		}
+	}()
+	NewHistogram(1, 0.5)
+}
+
+func TestWritePrometheus(t *testing.T) {
+	h := NewHistogram(0.01, 0.1)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(7)
+	var b strings.Builder
+	h.Snapshot().WritePrometheus(&b, "x_seconds", `stage="observe"`)
+	want := `x_seconds_bucket{stage="observe",le="0.01"} 1
+x_seconds_bucket{stage="observe",le="0.1"} 2
+x_seconds_bucket{stage="observe",le="+Inf"} 3
+x_seconds_sum{stage="observe"} 7.055
+x_seconds_count{stage="observe"} 3
+`
+	if b.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestWritePrometheusUnlabelled(t *testing.T) {
+	h := NewHistogram(1)
+	h.Observe(0.5)
+	var b strings.Builder
+	h.Snapshot().WritePrometheus(&b, "y_seconds", "")
+	want := `y_seconds_bucket{le="1"} 1
+y_seconds_bucket{le="+Inf"} 1
+y_seconds_sum 0.5
+y_seconds_count 1
+`
+	if b.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestWritePrometheusFamily(t *testing.T) {
+	a, b := NewHistogram(1), NewHistogram(1)
+	a.Observe(0.1)
+	b.Observe(2)
+	var out strings.Builder
+	WritePrometheusFamily(&out, "fam_seconds", "Help text.", "stage", map[string]HistogramSnapshot{
+		"zeta":  b.Snapshot(),
+		"alpha": a.Snapshot(),
+	})
+	got := out.String()
+	if !strings.HasPrefix(got, "# HELP fam_seconds Help text.\n# TYPE fam_seconds histogram\n") {
+		t.Fatalf("missing header:\n%s", got)
+	}
+	// Sorted label order: alpha before zeta.
+	if strings.Index(got, `stage="alpha"`) > strings.Index(got, `stage="zeta"`) {
+		t.Fatalf("labels not sorted:\n%s", got)
+	}
+}

@@ -3,6 +3,7 @@ package comfedsv
 import (
 	"context"
 	"sync/atomic"
+	"time"
 
 	"comfedsv/internal/mc"
 	"comfedsv/internal/shapley"
@@ -58,6 +59,15 @@ func (v *Valuation) emit(p Progress) {
 	}
 }
 
+// emitTime reports one finished stage execution's wall clock through
+// Options.OnStageTime. Purely observational: the clock never feeds back
+// into the computed values, so timing cannot perturb a report.
+func (v *Valuation) emitTime(stage string, shard int, start time.Time) {
+	if v.opts.OnStageTime != nil {
+		v.opts.OnStageTime(StageTiming{Stage: stage, Shard: shard, Duration: time.Since(start)})
+	}
+}
+
 // Prepare computes the final-model metrics and the FedSV baseline, then
 // builds the ComFedSV observation plan. It returns the number of
 // observation shards to schedule (always 1 for the exact pipeline — its
@@ -67,11 +77,13 @@ func (v *Valuation) Prepare(ctx context.Context) (int, error) {
 	v.report = &Report{FinalTestLoss: loss, FinalAccuracy: acc}
 
 	v.emit(Progress{Stage: StageFedSV, Done: 0, Total: 1})
+	fedsvStart := time.Now()
 	fedsv, err := shapley.FedSVCtx(ctx, v.session)
 	if err != nil {
 		return 0, stageErr(ctx, "fedsv", err)
 	}
 	v.report.FedSV = fedsv
+	v.emitTime(StageFedSV, -1, fedsvStart)
 	v.emit(Progress{Stage: StageFedSV, Done: 1, Total: 1})
 
 	mcCfg := mc.DefaultConfig(v.opts.Rank)
@@ -108,6 +120,7 @@ func (v *Valuation) Shards() int { return v.shards }
 // session. Distinct shards are safe to run concurrently; each uses up to
 // Options.Parallelism goroutines of its own.
 func (v *Valuation) ObserveShard(ctx context.Context, shard int) error {
+	start := time.Now()
 	var err error
 	if v.mcPlan != nil {
 		err = v.mcPlan.ObserveShard(ctx, shard)
@@ -117,6 +130,7 @@ func (v *Valuation) ObserveShard(ctx context.Context, shard int) error {
 	if err != nil {
 		return stageErr(ctx, "valuation", err)
 	}
+	v.emitTime(StageObserve, shard, start)
 	v.emit(Progress{Stage: StageObserve, Done: int(v.observed.Add(1)), Total: v.shards})
 	return nil
 }
@@ -125,6 +139,7 @@ func (v *Valuation) ObserveShard(ctx context.Context, shard int) error {
 // solves the matrix-completion problem.
 func (v *Valuation) Complete(ctx context.Context) error {
 	v.emit(Progress{Stage: StageComplete, Done: 0, Total: 1})
+	start := time.Now()
 	if v.mcPlan != nil {
 		if err := v.mcPlan.Merge(ctx); err != nil {
 			return stageErr(ctx, "valuation", err)
@@ -137,6 +152,7 @@ func (v *Valuation) Complete(ctx context.Context) error {
 			return stageErr(ctx, "valuation", err)
 		}
 	}
+	v.emitTime(StageComplete, -1, start)
 	v.emit(Progress{Stage: StageComplete, Done: 1, Total: 1})
 	return nil
 }
@@ -145,6 +161,7 @@ func (v *Valuation) Complete(ctx context.Context) error {
 // and assembles the final report.
 func (v *Valuation) Extract(ctx context.Context) (*Report, error) {
 	v.emit(Progress{Stage: StageShapley, Done: 0, Total: 1})
+	start := time.Now()
 	if v.mcPlan != nil {
 		res, err := v.mcPlan.Extract(ctx)
 		if err != nil {
@@ -166,6 +183,7 @@ func (v *Valuation) Extract(ctx context.Context) (*Report, error) {
 	// what a standalone evaluator would have paid — so run-backed reports
 	// stay byte-identical to inline ones.
 	v.report.UtilityCalls = v.session.Calls()
+	v.emitTime(StageShapley, -1, start)
 	v.emit(Progress{Stage: StageShapley, Done: 1, Total: 1})
 	return v.report, nil
 }
