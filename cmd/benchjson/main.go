@@ -1,7 +1,7 @@
 // Command benchjson runs the repo's perf-anchor benchmarks and emits one
 // machine-readable JSON document, the format committed as BENCH_XXXX.json
-// snapshots (see README "Observability"). Three scenarios cover the three
-// cost centers of the valuation pipeline:
+// snapshots (see README "Observability"). Four scenarios cover the cost
+// centers of the valuation pipeline:
 //
 //   - als_completion: the ALS matrix-completion solver on the realistic
 //     60×400 rank-5 utility-matrix shape (internal/mc's hot path),
@@ -10,7 +10,12 @@
 //     cost),
 //   - mixed_load_small_job_latency: time-to-first-report for a small job
 //     submitted behind a large sharded job on a one-worker scheduler (the
-//     quantity the stage-graph scheduler exists to bound).
+//     quantity the stage-graph scheduler exists to bound),
+//   - adaptive_valuation: a tolerance-driven run against the fixed-budget
+//     baseline on the same large job — utility-call savings from early
+//     stopping plus the worst-case value deviation it costs. The counts
+//     and deviations are deterministic, so the scenario fails loudly if
+//     the run stops late or drifts past the tolerance.
 //
 // The first two run once per -cpu entry with GOMAXPROCS pinned, so a
 // single document records the scaling curve. Numbers are comparable only
@@ -195,6 +200,86 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mixed_load_small_job_latency gomaxprocs=%d: %v/op (%d reps)\n", cpu, mean, reps)
 	}
 
+	// --- adaptive_valuation ---
+	// One large job, two modes, same seed: fixed budget exhausts every
+	// sampled permutation; tolerance mode stops at the first wave whose
+	// estimates moved less than the tolerance. Utility calls (distinct
+	// test-loss evaluations) are the paper's cost unit, so the savings
+	// fraction — not wall time — is the headline number. Both counts and
+	// the deviation are deterministic, host-independent quantities.
+	// 24 clients puts the full-participation warm-up round past the exact
+	// FedSV enumeration limit, so the baseline uses the sampled estimator
+	// and the job's utility bill is dominated by Monte-Carlo observation
+	// cells — the regime where early stopping pays.
+	aClients, aRounds, aBudget, aTol, aReps := 24, 10, 400, 0.05, 3
+	if *quick {
+		aClients, aRounds, aBudget, aTol, aReps = 22, 5, 64, 0.1, 1
+	}
+	{
+		cpu := cpuList[len(cpuList)-1]
+		runtime.GOMAXPROCS(cpu)
+		cls, test, opts := adaptiveFixture(aClients, aRounds, aBudget)
+		opts.Parallelism = cpu
+
+		fixedStart := time.Now()
+		fixedRep, err := comfedsv.ValueCtx(ctx, cls, test, opts)
+		if err != nil {
+			fail(fmt.Errorf("adaptive_valuation fixed baseline: %w", err))
+		}
+		fixedDur := time.Since(fixedStart)
+
+		adOpts := opts
+		adOpts.Tolerance = aTol
+		var total time.Duration
+		var adRep *comfedsv.Report
+		for i := 0; i < aReps; i++ {
+			start := time.Now()
+			adRep, err = comfedsv.ValueCtx(ctx, cls, test, adOpts)
+			if err != nil {
+				fail(fmt.Errorf("adaptive_valuation: %w", err))
+			}
+			total += time.Since(start)
+		}
+
+		if adRep.ObservationsUsed >= adRep.ObservationsBudget {
+			fail(fmt.Errorf("adaptive_valuation: no early stop (used %d of %d); tolerance %v too tight for this fixture",
+				adRep.ObservationsUsed, adRep.ObservationsBudget, aTol))
+		}
+		savings := 1 - float64(adRep.UtilityCalls)/float64(fixedRep.UtilityCalls)
+		var maxDev float64
+		for i, v := range adRep.ComFedSV {
+			if d := abs(v - fixedRep.ComFedSV[i]); d > maxDev {
+				maxDev = d
+			}
+		}
+		if maxDev > aTol {
+			fail(fmt.Errorf("adaptive_valuation: values drifted %v past tolerance %v", maxDev, aTol))
+		}
+		if !*quick && savings < 0.30 {
+			fail(fmt.Errorf("adaptive_valuation: utility-call savings %.1f%% below the 30%% bar (fixed %d, adaptive %d)",
+				savings*100, fixedRep.UtilityCalls, adRep.UtilityCalls))
+		}
+		doc.Benchmarks = append(doc.Benchmarks, benchResult{
+			Name:       "adaptive_valuation",
+			GOMAXPROCS: cpu,
+			Workers:    cpu,
+			Iterations: aReps,
+			NsPerOp:    (total / time.Duration(aReps)).Nanoseconds(),
+			Extra: map[string]float64{
+				"fixed_ns_per_op":        float64(fixedDur.Nanoseconds()),
+				"utility_calls_fixed":    float64(fixedRep.UtilityCalls),
+				"utility_calls_adaptive": float64(adRep.UtilityCalls),
+				"utility_call_savings":   savings,
+				"observations_used":      float64(adRep.ObservationsUsed),
+				"observations_budget":    float64(adRep.ObservationsBudget),
+				"tolerance":              aTol,
+				"max_value_deviation":    maxDev,
+			},
+		})
+		fmt.Fprintf(os.Stderr, "adaptive_valuation gomaxprocs=%d: %v/op, utility calls %d -> %d (%.1f%% saved), max deviation %.4g (tol %v)\n",
+			cpu, total/time.Duration(aReps), fixedRep.UtilityCalls, adRep.UtilityCalls, savings*100, maxDev, aTol)
+	}
+
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fail(err)
@@ -289,6 +374,41 @@ func observationCells(clients, rounds, perRound int) []utility.Cell {
 		}
 	}
 	return cells
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// adaptiveFixture builds the adaptive_valuation job: `clients` separable
+// 2-D clients, `rounds` training rounds, `samples` sampled permutations.
+func adaptiveFixture(clients, rounds, samples int) ([]comfedsv.Client, comfedsv.Client, comfedsv.Options) {
+	mk := func(off float64, points int) comfedsv.Client {
+		var c comfedsv.Client
+		for i := 0; i < points; i++ {
+			x := off + float64(i)*0.17
+			label := 0
+			if x > 1 {
+				label = 1
+			}
+			c.X = append(c.X, []float64{x, 1 - x})
+			c.Y = append(c.Y, label)
+		}
+		return c
+	}
+	var cs []comfedsv.Client
+	for i := 0; i < clients; i++ {
+		cs = append(cs, mk(-0.5+float64(i)*0.15, 24))
+	}
+	opts := comfedsv.DefaultOptions(2)
+	opts.Rounds = rounds
+	opts.ClientsPerRound = 3
+	opts.Seed = 83
+	opts.MonteCarloSamples = samples
+	return cs, mk(0.25, 32), opts
 }
 
 // mixedRequest builds a deterministic valuation request scaled by client

@@ -66,7 +66,25 @@ type Options struct {
 	Rank int
 	// MonteCarloSamples, if positive, uses Algorithm 1 with that many
 	// permutations; zero uses the exact pipeline (requires ≤ 14 clients).
+	// When Tolerance is set it is the adaptive run's permutation *budget* —
+	// the ceiling sampling never exceeds.
 	MonteCarloSamples int
+	// Tolerance, if positive, switches the Monte-Carlo pipeline to
+	// adaptive (tolerance-driven) valuation: permutations are sampled in
+	// doubling waves and the run stops as soon as no client's ComFedSV
+	// estimate moved more than Tolerance between consecutive waves,
+	// instead of exhausting the full budget. Requires a positive
+	// permutation budget (MonteCarloSamples or MaxPermutations). The
+	// stopping decision is a pure function of the seed and the merged
+	// estimates, so adaptive reports stay byte-identical across
+	// Parallelism and Shards settings. Zero keeps the fixed-budget
+	// pipeline; negative, NaN, or infinite values are rejected.
+	Tolerance float64
+	// MaxPermutations, if positive, is an explicit permutation budget for
+	// adaptive valuation — an alias for MonteCarloSamples that reads
+	// better next to Tolerance. Setting it without Tolerance, or setting
+	// both it and MonteCarloSamples to different values, is rejected.
+	MaxPermutations int
 	// Seed makes the run deterministic.
 	Seed int64
 	// Parallelism bounds the number of CPU-bound goroutines one valuation
@@ -154,7 +172,10 @@ func DefaultOptions(numClasses int) Options {
 // Report is the outcome of a valuation run. The JSON encoding is the wire
 // and on-disk format used by the comfedsvd service.
 type Report struct {
-	// FedSV holds the federated Shapley values (Wang et al., Definition 2).
+	// FedSV holds the federated Shapley values (Wang et al., Definition 2),
+	// computed by exact per-round enumeration when every round selects at
+	// most 20 clients and otherwise by the paper's seeded sampled-permutation
+	// estimator — deterministic either way.
 	FedSV []float64 `json:"fedsv"`
 	// ComFedSV holds the completed federated Shapley values (Definition 4).
 	ComFedSV []float64 `json:"comfedsv"`
@@ -169,6 +190,15 @@ type Report struct {
 	CompletionRMSE float64 `json:"completion_rmse"`
 	// UtilityCalls counts the distinct test-loss evaluations performed.
 	UtilityCalls int `json:"utility_calls"`
+	// ObservationsUsed is the number of sampled permutations an adaptive
+	// (tolerance-driven) run merged before its estimates converged. Zero
+	// (omitted) for fixed-budget and exact runs, which always consume
+	// their whole plan.
+	ObservationsUsed int `json:"observations_used,omitempty"`
+	// ObservationsBudget is the permutation budget the adaptive run was
+	// capped at — what a fixed-budget run with the same options would have
+	// consumed. Zero (omitted) outside adaptive mode.
+	ObservationsBudget int `json:"observations_budget,omitempty"`
 }
 
 // Value trains a federated model on the clients' data and values every

@@ -1,0 +1,81 @@
+package comfedsv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// wideClients builds n separable 2-D clients — enough of them that the
+// warm-up round's full-participation selection exceeds the exact-FedSV
+// enumeration limit of 20.
+func wideClients(n int) ([]Client, Client) {
+	mk := func(off float64) Client {
+		var c Client
+		for i := 0; i < 6; i++ {
+			x := off + float64(i)*0.3
+			label := 0
+			if x > 1 {
+				label = 1
+			}
+			c.X = append(c.X, []float64{x, 1 - x})
+			c.Y = append(c.Y, label)
+		}
+		return c
+	}
+	var cs []Client
+	for i := 0; i < n; i++ {
+		cs = append(cs, mk(-0.5+float64(i)*0.07))
+	}
+	return cs, mk(0.25)
+}
+
+// TestFedSVFallbackBeyondEnumerationLimit pins the large-federation path:
+// a Monte-Carlo job whose warm-up round selects all 22 clients used to
+// fail outright ("exact FedSV ... is infeasible"); now the baseline
+// degrades to the paper's sampled-permutation estimator and the job
+// succeeds — deterministically, so the report stays byte-identical across
+// shard and parallelism settings, in fixed and tolerance mode alike.
+func TestFedSVFallbackBeyondEnumerationLimit(t *testing.T) {
+	clients, test := wideClients(22)
+	opts := DefaultOptions(2)
+	opts.Rounds = 3
+	opts.ClientsPerRound = 2
+	opts.Seed = 29
+	opts.MonteCarloSamples = 24
+
+	encode := func(opts Options) []byte {
+		rep, err := ValueCtx(context.Background(), clients, test, opts)
+		if err != nil {
+			t.Fatalf("shards=%d parallelism=%d tol=%v: %v", opts.Shards, opts.Parallelism, opts.Tolerance, err)
+		}
+		if len(rep.FedSV) != 22 || len(rep.ComFedSV) != 22 {
+			t.Fatalf("value lengths %d/%d, want 22", len(rep.FedSV), len(rep.ComFedSV))
+		}
+		body, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	want := encode(opts)
+	for _, tc := range []struct{ shards, parallelism int }{{4, 1}, {1, 3}} {
+		o := opts
+		o.Shards = tc.shards
+		o.Parallelism = tc.parallelism
+		if got := encode(o); !bytes.Equal(want, got) {
+			t.Fatalf("shards=%d parallelism=%d report differs:\n%s\nvs\n%s", tc.shards, tc.parallelism, got, want)
+		}
+	}
+
+	adaptive := opts
+	adaptive.Tolerance = 100
+	wantAdaptive := encode(adaptive)
+	adaptive.Shards = 4
+	adaptive.Parallelism = 3
+	if got := encode(adaptive); !bytes.Equal(wantAdaptive, got) {
+		t.Fatalf("adaptive fallback report differs across shards:\n%s\nvs\n%s", got, wantAdaptive)
+	}
+}

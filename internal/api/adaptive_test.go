@@ -1,0 +1,174 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"comfedsv/internal/service"
+)
+
+// adaptiveJob builds a tolerance-mode submission over the tinyJob fixture:
+// budget 40 cuts into waves [16, 32, 40] and the loose tolerance stops the
+// run at the second wave bound.
+func adaptiveJob(t *testing.T, extra map[string]any) []byte {
+	t.Helper()
+	_, clients, test, _ := tinyJob(47)
+	options := map[string]any{
+		"num_classes":         2,
+		"rounds":              4,
+		"clients_per_round":   2,
+		"seed":                47,
+		"monte_carlo_samples": 40,
+		"tolerance":           100,
+	}
+	for k, v := range extra {
+		options[k] = v
+	}
+	body := map[string]any{
+		"test":    map[string]any{"x": test.X, "y": test.Y},
+		"options": options,
+	}
+	var cs []map[string]any
+	for _, c := range clients {
+		cs = append(cs, map[string]any{"x": c.X, "y": c.Y})
+	}
+	body["clients"] = cs
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestDaemonAdaptiveEndToEnd is the HTTP-layer acceptance test for
+// tolerance mode: a "tolerance" job stops early, the status and report
+// both expose observations_used/observations_budget, the report bytes are
+// identical across shard and parallelism settings, and the skipped
+// permutations land in the Prometheus counter.
+func TestDaemonAdaptiveEndToEnd(t *testing.T) {
+	ts := testDaemon(t, service.Config{Workers: 3})
+
+	submit := func(extra map[string]any) (service.Status, []byte) {
+		id := submitAndWait(t, ts.URL, adaptiveJob(t, extra))
+		var st service.Status
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("GET status: %d", code)
+		}
+		code, rep := getBody(t, ts.URL+"/v1/jobs/"+id+"/report")
+		if code != http.StatusOK {
+			t.Fatalf("GET report: %d", code)
+		}
+		return st, rep
+	}
+
+	st, want := submit(nil)
+	if st.ObservationsBudget != 40 {
+		t.Fatalf("status observations_budget %d, want 40", st.ObservationsBudget)
+	}
+	if st.ObservationsUsed <= 0 || st.ObservationsUsed >= st.ObservationsBudget {
+		t.Fatalf("status observations_used %d, want an early stop within budget 40", st.ObservationsUsed)
+	}
+	var rep struct {
+		ObservationsUsed   int `json:"observations_used"`
+		ObservationsBudget int `json:"observations_budget"`
+	}
+	if err := json.Unmarshal(want, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ObservationsUsed != st.ObservationsUsed || rep.ObservationsBudget != st.ObservationsBudget {
+		t.Fatalf("report savings %d/%d disagree with status %d/%d",
+			rep.ObservationsUsed, rep.ObservationsBudget, st.ObservationsUsed, st.ObservationsBudget)
+	}
+
+	// Determinism across scheduling knobs, including the max_permutations
+	// budget alias: not a byte of the report may move.
+	for _, extra := range []map[string]any{
+		{"shards": 2},
+		{"shards": 8, "parallelism": 4},
+		{"shards": 1, "parallelism": 4},
+		{"max_permutations": 40},
+	} {
+		if _, got := submit(extra); !bytes.Equal(want, got) {
+			t.Fatalf("adaptive report with %v differs:\n%s\nvs\n%s", extra, got, want)
+		}
+	}
+
+	// Five identical adaptive jobs ran; each skipped budget-used
+	// permutations, and the counter sums them daemon-wide.
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped := 5 * (st.ObservationsBudget - st.ObservationsUsed)
+	line := fmt.Sprintf("comfedsvd_observations_skipped_total %d", skipped)
+	if !strings.Contains(string(text), line) {
+		t.Fatalf("metrics output missing %q:\n%s", line, text)
+	}
+}
+
+// TestDaemonAdaptiveValidation pins the 400 matrix for the new knobs: the
+// malformed and contradictory combinations are rejected before a job is
+// created, each with a clear {"error": ...} body.
+func TestDaemonAdaptiveValidation(t *testing.T) {
+	ts := testDaemon(t, service.Config{Workers: 1})
+
+	post := func(options string) (int, string) {
+		body := `{"clients": [{"x": [[1]], "y": [0]}], "test": {"x": [[1]], "y": [0]}, "options": ` + options + `}`
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e struct {
+			Error string `json:"error"`
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		json.Unmarshal(raw, &e)
+		return resp.StatusCode, e.Error
+	}
+
+	for _, tc := range []struct {
+		name    string
+		options string
+		want    string
+	}{
+		{"zero tolerance", `{"num_classes": 2, "monte_carlo_samples": 40, "tolerance": 0}`, "positive and finite"},
+		{"negative tolerance", `{"num_classes": 2, "monte_carlo_samples": 40, "tolerance": -0.5}`, "positive and finite"},
+		{"tolerance without budget", `{"num_classes": 2, "tolerance": 0.1}`, "requires a permutation budget"},
+		{"max_permutations without tolerance", `{"num_classes": 2, "max_permutations": 40}`, "requires options.tolerance"},
+		{"budget mismatch", `{"num_classes": 2, "monte_carlo_samples": 30, "max_permutations": 40, "tolerance": 0.1}`, "disagree"},
+		{"negative max_permutations", `{"num_classes": 2, "max_permutations": -1}`, "max_permutations"},
+	} {
+		code, msg := post(tc.options)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+			continue
+		}
+		if !strings.Contains(msg, tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, msg, tc.want)
+		}
+	}
+
+	// Matching explicit budgets are fine, and NaN/Inf tolerances never get
+	// past encoding/json (they are not valid JSON numbers at all).
+	code, msg := post(`{"num_classes": 2, "monte_carlo_samples": 40, "max_permutations": 40, "tolerance": 0.1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("matching budgets: %d (%s), want 202", code, msg)
+	}
+	if code, _ := post(`{"num_classes": 2, "monte_carlo_samples": 40, "tolerance": NaN}`); code != http.StatusBadRequest {
+		t.Fatalf("NaN tolerance literal: %d, want 400", code)
+	}
+}

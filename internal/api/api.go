@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
@@ -154,6 +155,18 @@ type optionsJSON struct {
 	// the daemon's default (-shards flag, 1 if unset). The computed values
 	// do not depend on it.
 	Shards int `json:"shards,omitempty"`
+	// Tolerance, if present, switches the job to adaptive valuation:
+	// sampling runs in waves and stops once no client's ComFedSV estimate
+	// moved more than the tolerance between consecutive waves, with
+	// monte_carlo_samples (or max_permutations) as the permutation budget.
+	// A pointer so an explicit 0 — rejected as non-positive — is
+	// distinguishable from an absent field (fixed-budget valuation).
+	Tolerance *float64 `json:"tolerance,omitempty"`
+	// MaxPermutations is an explicit permutation budget for adaptive
+	// jobs — an alias for monte_carlo_samples that reads better next to
+	// tolerance. Requires tolerance; setting both budgets to different
+	// values is rejected.
+	MaxPermutations int `json:"max_permutations,omitempty"`
 	// Seed is a pointer so an explicit "seed": 0 is distinguishable from
 	// an absent field (0 is a valid seed the library accepts).
 	Seed *int64 `json:"seed,omitempty"`
@@ -186,6 +199,7 @@ func (o optionsJSON) overlay(requireClasses bool) (comfedsv.Options, error) {
 		"monte_carlo_samples": o.MonteCarloSamples,
 		"parallelism":         o.Parallelism,
 		"shards":              o.Shards,
+		"max_permutations":    o.MaxPermutations,
 	} {
 		if v < 0 {
 			return opts, fmt.Errorf("options.%s must not be negative, got %d", name, v)
@@ -193,6 +207,24 @@ func (o optionsJSON) overlay(requireClasses bool) (comfedsv.Options, error) {
 	}
 	if o.LearningRate < 0 {
 		return opts, fmt.Errorf("options.learning_rate must not be negative, got %v", o.LearningRate)
+	}
+	if o.Tolerance != nil {
+		tol := *o.Tolerance
+		if math.IsNaN(tol) || math.IsInf(tol, 0) || tol <= 0 {
+			return opts, fmt.Errorf("options.tolerance must be positive and finite, got %v", tol)
+		}
+		if o.MonteCarloSamples == 0 && o.MaxPermutations == 0 {
+			return opts, errors.New("options.tolerance requires a permutation budget (monte_carlo_samples or max_permutations)")
+		}
+		if o.MonteCarloSamples > 0 && o.MaxPermutations > 0 && o.MonteCarloSamples != o.MaxPermutations {
+			return opts, fmt.Errorf("options.monte_carlo_samples (%d) and options.max_permutations (%d) disagree", o.MonteCarloSamples, o.MaxPermutations)
+		}
+		opts.Tolerance = tol
+	} else if o.MaxPermutations > 0 {
+		return opts, errors.New("options.max_permutations requires options.tolerance (fixed-budget jobs use monte_carlo_samples)")
+	}
+	if o.MaxPermutations > 0 {
+		opts.MaxPermutations = o.MaxPermutations
 	}
 	if o.Rounds > 0 {
 		opts.Rounds = o.Rounds
@@ -493,6 +525,8 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "comfedsvd_shard_tasks_executed_total %d\n", m.ShardTasksExecuted)
 	b.WriteString("# HELP comfedsvd_jobs_evicted_total Terminal jobs evicted by the TTL janitor.\n# TYPE comfedsvd_jobs_evicted_total counter\n")
 	fmt.Fprintf(&b, "comfedsvd_jobs_evicted_total %d\n", m.JobsEvicted)
+	b.WriteString("# HELP comfedsvd_observations_skipped_total Budgeted permutations adaptive jobs never sampled because their estimates converged early.\n# TYPE comfedsvd_observations_skipped_total counter\n")
+	fmt.Fprintf(&b, "comfedsvd_observations_skipped_total %d\n", m.ObservationsSkipped)
 
 	b.WriteString("# HELP comfedsvd_run_cache_hits_total Utility-cache lookups amortized by a run's shared memo table.\n# TYPE comfedsvd_run_cache_hits_total counter\n")
 	for _, rc := range m.RunCaches {

@@ -84,6 +84,24 @@ type Config struct {
 	// write disjoint slices), so the result is bit-identical for every
 	// worker count. SGD is inherently sequential and ignores Workers.
 	Workers int
+	// Warm, if non-nil, warm-starts the first attempt from prior factors —
+	// typically the previous wave's fit in an adaptive valuation, or a
+	// previous job's fit over the same run. The warm factors are copied,
+	// never mutated; rows beyond the warm factors' shape (a problem that
+	// grew new rows or columns) are drawn from the seeded RNG exactly as a
+	// cold start draws them, and a rank mismatch falls back to a fully cold
+	// first attempt. Remaining restarts stay cold, so a poor warm basin can
+	// still lose to a fresh initialization. Warm-starting is deterministic:
+	// the result is a pure function of the observations, the config, and
+	// the warm factors.
+	Warm *Warm
+}
+
+// Warm holds initial factors for a warm-started completion solve.
+type Warm struct {
+	// W is rows×rank, H is cols×rank — the shapes of a prior Result's
+	// factors for the same (or a smaller) problem at the same rank.
+	W, H *mat.Dense
 }
 
 // DefaultConfig returns the configuration used across the experiments.
@@ -151,11 +169,19 @@ func Complete(obs []Entry, rows, cols int, cfg Config) (*Result, error) {
 		inner = 1
 	}
 
+	// Only the first attempt is warm-started; later restarts stay cold so
+	// the restart mechanism keeps its job of escaping a poor basin.
+	warmFor := func(attempt int) *Warm {
+		if attempt == 0 {
+			return cfg.Warm
+		}
+		return nil
+	}
 	results := make([]*Result, restarts)
 	errs := make([]error, restarts)
 	if conc <= 1 {
 		for attempt := 0; attempt < restarts; attempt++ {
-			results[attempt], errs[attempt] = completeOnce(obs, rows, cols, cfg, cfg.Seed+int64(attempt), workers)
+			results[attempt], errs[attempt] = completeOnce(obs, rows, cols, cfg, cfg.Seed+int64(attempt), workers, warmFor(attempt))
 		}
 	} else {
 		sem := make(chan struct{}, conc)
@@ -166,7 +192,7 @@ func Complete(obs []Entry, rows, cols int, cfg Config) (*Result, error) {
 			go func(attempt int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				results[attempt], errs[attempt] = completeOnce(obs, rows, cols, cfg, cfg.Seed+int64(attempt), inner)
+				results[attempt], errs[attempt] = completeOnce(obs, rows, cols, cfg, cfg.Seed+int64(attempt), inner, warmFor(attempt))
 			}(attempt)
 		}
 		wg.Wait()
@@ -184,11 +210,20 @@ func Complete(obs []Entry, rows, cols int, cfg Config) (*Result, error) {
 	return best, nil
 }
 
-func completeOnce(obs []Entry, rows, cols int, cfg Config, seed int64, workers int) (*Result, error) {
+func completeOnce(obs []Entry, rows, cols int, cfg Config, seed int64, workers int, warm *Warm) (*Result, error) {
 	g := rng.New(seed)
 	scale := 1 / math.Sqrt(float64(cfg.Rank))
-	w := randomFactor(rows, cfg.Rank, scale, g)
-	h := randomFactor(cols, cfg.Rank, scale, g)
+	if warm != nil && (warm.W == nil || warm.H == nil || warm.W.Cols() != cfg.Rank || warm.H.Cols() != cfg.Rank) {
+		warm = nil // rank mismatch: the warm factors cannot seed this problem
+	}
+	var w, h *mat.Dense
+	if warm != nil {
+		w = warmFactor(rows, cfg.Rank, scale, g, warm.W)
+		h = warmFactor(cols, cfg.Rank, scale, g, warm.H)
+	} else {
+		w = randomFactor(rows, cfg.Rank, scale, g)
+		h = randomFactor(cols, cfg.Rank, scale, g)
+	}
 
 	switch cfg.Solver {
 	case ALS:
@@ -227,6 +262,24 @@ func validate(obs []Entry, rows, cols int, cfg Config) error {
 func randomFactor(n, r int, scale float64, g *rng.RNG) *mat.Dense {
 	m := mat.NewDense(n, r)
 	d := m.Data()
+	for i := range d {
+		d[i] = g.Normal(0, scale)
+	}
+	return m
+}
+
+// warmFactor builds an n×r factor seeded from prior factors: overlapping
+// rows are copied (the warm matrix is never aliased — ALS mutates its
+// factors in place), rows beyond the warm shape are drawn from g like a
+// cold start's.
+func warmFactor(n, r int, scale float64, g *rng.RNG, warm *mat.Dense) *mat.Dense {
+	m := mat.NewDense(n, r)
+	copyRows := warm.Rows()
+	if copyRows > n {
+		copyRows = n
+	}
+	copy(m.Data()[:copyRows*r], warm.Data()[:copyRows*r])
+	d := m.Data()[copyRows*r:]
 	for i := range d {
 		d[i] = g.Normal(0, scale)
 	}

@@ -298,3 +298,163 @@ func TestCompleteDeterministicAcrossWorkers(t *testing.T) {
 		}
 	}
 }
+
+// cloneDense copies a matrix so a test can later prove the original was
+// not mutated.
+func cloneDense(m *mat.Dense) *mat.Dense {
+	rows, cols := m.Dims()
+	out := mat.NewDense(rows, cols)
+	copy(out.Data(), m.Data())
+	return out
+}
+
+// TestWarmStartConvergesFaster is the warm-starting contract: re-solving
+// the same (slightly grown) problem from a prior fit must reach the ALS
+// early-stopping tolerance in strictly fewer sweeps than a cold solve, and
+// the fit must be at least as good.
+func TestWarmStartConvergesFaster(t *testing.T) {
+	truth := lowRankTruth(30, 80, 3, 11)
+	cfg := DefaultConfig(3)
+	cfg.Restarts = 1
+	// Room to converge before the iteration cap, so the iteration counts
+	// reflect convergence speed rather than both hitting MaxIter.
+	cfg.MaxIter = 500
+	cfg.Tol = 1e-6
+
+	cold, err := Complete(sample(truth, 0.3, 12), 30, 80, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A denser observation of the same matrix — the adaptive pipeline's
+	// next wave — warm-started from the first fit.
+	obs2 := sample(truth, 0.45, 12)
+	coldCfg := cfg
+	cold2, err := Complete(obs2, 30, 80, coldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCfg := cfg
+	warmCfg.Warm = &Warm{W: cold.W, H: cold.H}
+	warm2, err := Complete(obs2, 30, 80, warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm2.Iterations >= cold2.Iterations {
+		t.Fatalf("warm start took %d iterations, cold took %d — warm must be strictly faster", warm2.Iterations, cold2.Iterations)
+	}
+	if warm2.Objective > cold2.Objective*1.05 {
+		t.Fatalf("warm objective %v much worse than cold %v", warm2.Objective, cold2.Objective)
+	}
+}
+
+// TestWarmStartDeterministicAcrossWorkers pins warm-started completion to
+// the determinism invariant: same inputs, any worker count, identical bits.
+func TestWarmStartDeterministicAcrossWorkers(t *testing.T) {
+	truth := lowRankTruth(20, 50, 3, 21)
+	obs := sample(truth, 0.4, 22)
+	cfg := DefaultConfig(3)
+	base, err := Complete(sample(truth, 0.25, 23), 20, 50, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Warm = &Warm{W: base.W, H: base.H}
+
+	var want *Result
+	for _, workers := range []int{1, 2, 7} {
+		c := cfg
+		c.Workers = workers
+		res, err := Complete(obs, 20, 50, c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		for i, v := range res.W.Data() {
+			if v != want.W.Data()[i] {
+				t.Fatalf("workers=%d: W[%d] = %v, want %v", workers, i, v, want.W.Data()[i])
+			}
+		}
+		for i, v := range res.H.Data() {
+			if v != want.H.Data()[i] {
+				t.Fatalf("workers=%d: H[%d] = %v, want %v", workers, i, v, want.H.Data()[i])
+			}
+		}
+	}
+}
+
+// TestWarmStartDoesNotMutateWarmFactors: ALS mutates its working factors in
+// place, so the warm input must be copied, not aliased.
+func TestWarmStartDoesNotMutateWarmFactors(t *testing.T) {
+	truth := lowRankTruth(15, 40, 2, 31)
+	base, err := Complete(sample(truth, 0.3, 32), 15, 40, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wCopy, hCopy := cloneDense(base.W), cloneDense(base.H)
+	cfg := DefaultConfig(2)
+	cfg.Warm = &Warm{W: base.W, H: base.H}
+	if _, err := Complete(sample(truth, 0.5, 33), 15, 40, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range base.W.Data() {
+		if v != wCopy.Data()[i] {
+			t.Fatalf("warm W was mutated at %d", i)
+		}
+	}
+	for i, v := range base.H.Data() {
+		if v != hCopy.Data()[i] {
+			t.Fatalf("warm H was mutated at %d", i)
+		}
+	}
+}
+
+// TestWarmStartGrownAndMismatchedShapes: a problem that grew rows/columns
+// copies the overlap and draws the rest from the seed; a rank mismatch
+// falls back to a fully cold (and therefore bit-identical-to-cold) solve.
+func TestWarmStartGrownAndMismatchedShapes(t *testing.T) {
+	truth := lowRankTruth(25, 60, 3, 41)
+	obs := sample(truth, 0.4, 42)
+	var smallObs []Entry
+	for _, e := range sample(truth, 0.3, 43) {
+		if e.Row < 20 && e.Col < 45 {
+			smallObs = append(smallObs, e)
+		}
+	}
+	small, err := Complete(smallObs, 20, 45, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grown := DefaultConfig(3)
+	grown.Warm = &Warm{W: small.W, H: small.H}
+	res, err := Complete(obs, 25, 60, grown)
+	if err != nil {
+		t.Fatalf("grown-shape warm start: %v", err)
+	}
+	if res.W.Rows() != 25 || res.H.Rows() != 60 {
+		t.Fatalf("grown-shape result has shape %dx-/%dx-", res.W.Rows(), res.H.Rows())
+	}
+
+	cold := DefaultConfig(3)
+	want, err := Complete(obs, 25, 60, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongRank, err := Complete(sample(truth, 0.3, 44), 25, 60, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatch := DefaultConfig(3)
+	mismatch.Warm = &Warm{W: wrongRank.W, H: wrongRank.H}
+	got, err := Complete(obs, 25, 60, mismatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Objective != want.Objective || got.Iterations != want.Iterations {
+		t.Fatalf("rank-mismatched warm start diverged from cold solve: obj %v vs %v, iters %d vs %d",
+			got.Objective, want.Objective, got.Iterations, want.Iterations)
+	}
+}

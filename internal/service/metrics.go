@@ -26,6 +26,11 @@ type Metrics struct {
 	ShardTasksExecuted int64
 	// JobsEvicted counts terminal jobs removed by the TTL janitor.
 	JobsEvicted int64
+	// ObservationsSkipped counts budgeted permutations that adaptive
+	// (tolerance-driven) jobs never had to sample because their estimates
+	// converged early, summed over every finished adaptive job — the
+	// daemon-lifetime early-stop savings.
+	ObservationsSkipped int64
 	// RunCaches holds the per-run utility-cache ledgers in registration
 	// order: misses are distinct test-loss evaluations paid for, hits are
 	// lookups amortized by the shared memo table.
@@ -64,6 +69,7 @@ func (m *Manager) Metrics() Metrics {
 		InflightTasks:         m.inflight,
 		TasksExecuted:         make(map[string]int64, len(m.tasksDone)),
 		JobsEvicted:           m.jobsEvicted,
+		ObservationsSkipped:   m.obsSkipped,
 		TaskLatency:           make(map[string]telemetry.HistogramSnapshot, len(m.taskHist)),
 		ValuationStageLatency: make(map[string]telemetry.HistogramSnapshot, len(m.valHist)),
 		JobDuration:           m.jobHist.Snapshot(),

@@ -53,6 +53,12 @@ type fakeValuation struct {
 	// cancel) until closed.
 	extractStarted chan struct{}
 	extractGate    <-chan struct{}
+
+	// waves scripts adaptive behavior: the i-th Complete call returns
+	// waves[i] additional observation shards (calls past the end, or a nil
+	// slice, return 0 — the plan is done).
+	waves     []int
+	completes int
 }
 
 func (f *fakeValuation) Prepare(ctx context.Context) (int, error) {
@@ -82,9 +88,14 @@ func (f *fakeValuation) ObserveShard(ctx context.Context, shard int) error {
 	return nil
 }
 
-func (f *fakeValuation) Complete(ctx context.Context) error {
+func (f *fakeValuation) Complete(ctx context.Context) (int, error) {
 	f.log.add(f.name + ":complete")
-	return nil
+	more := 0
+	if f.completes < len(f.waves) {
+		more = f.waves[f.completes]
+	}
+	f.completes++
+	return more, nil
 }
 
 func (f *fakeValuation) Extract(ctx context.Context) (*comfedsv.Report, error) {
@@ -381,7 +392,7 @@ func (f *failingShardValuation) ObserveShard(ctx context.Context, shard int) err
 	return f.fake.ObserveShard(ctx, shard)
 }
 
-func (f *failingShardValuation) Complete(ctx context.Context) error { return f.fake.Complete(ctx) }
+func (f *failingShardValuation) Complete(ctx context.Context) (int, error) { return f.fake.Complete(ctx) }
 
 func (f *failingShardValuation) Extract(ctx context.Context) (*comfedsv.Report, error) {
 	return f.fake.Extract(ctx)

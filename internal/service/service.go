@@ -72,9 +72,18 @@ type Status struct {
 	// Shards and ShardsDone describe the observation stage's task
 	// decomposition: how many shard tasks the scheduler fans this job's
 	// Monte-Carlo observation work out into, and how many have completed.
-	// Both are 0 until the prepare stage has planned the job.
+	// Both are 0 until the prepare stage has planned the job. An adaptive
+	// job's Shards grows wave by wave as its Complete schedules more.
 	Shards     int `json:"shards,omitempty"`
 	ShardsDone int `json:"shards_done,omitempty"`
+
+	// ObservationsUsed and ObservationsBudget, on a done adaptive
+	// (tolerance-driven) job, report the early-stop savings: how many
+	// sampled permutations the run merged before its estimates converged,
+	// against the fixed budget it was capped at. Both are 0 (omitted) for
+	// fixed-budget and exact jobs.
+	ObservationsUsed   int `json:"observations_used,omitempty"`
+	ObservationsBudget int `json:"observations_budget,omitempty"`
 
 	// RunID is the shared training run this job values against; empty for
 	// jobs with inline training.
@@ -137,6 +146,14 @@ type Config struct {
 	// stage is split into. 0 means 1 (no sharding). Sharding changes
 	// scheduling only, never a byte of any report.
 	DefaultShards int
+	// DefaultTolerance, if positive, is the Options.Tolerance applied to
+	// Monte-Carlo submissions that leave it 0: every such job runs the
+	// adaptive (tolerance-driven) pipeline with its sample count as the
+	// permutation budget, stopping early once the per-client estimates
+	// stabilize. 0 keeps fixed-budget valuation for jobs that don't ask
+	// for a tolerance. Exact-pipeline submissions (no samples) are never
+	// switched.
+	DefaultTolerance float64
 	// JobTTL, if positive, evicts terminal jobs — from memory and, when a
 	// Store is configured, from disk — once they have been finished for at
 	// least this long. 0 keeps jobs forever.
@@ -257,6 +274,7 @@ type Manager struct {
 
 	tasksDone   map[string]int64 // executed task counts by stage name
 	jobsEvicted int64
+	obsSkipped  int64 // budgeted-but-unsampled permutations of done adaptive jobs
 	janitorStop chan struct{}
 
 	// Latency telemetry. taskHist holds per-stage task-execution
@@ -393,6 +411,13 @@ func (m *Manager) Submit(req Request) (string, error) {
 	}
 	if opts.Shards == 0 {
 		opts.Shards = m.cfg.DefaultShards
+	}
+	// A daemon-wide default tolerance switches Monte-Carlo jobs that did
+	// not pick a mode themselves to adaptive valuation; jobs that set
+	// their own tolerance, ask for an explicit budget via MaxPermutations,
+	// or run the exact pipeline are left alone.
+	if m.cfg.DefaultTolerance > 0 && opts.Tolerance == 0 && opts.MaxPermutations == 0 && opts.MonteCarloSamples > 0 {
+		opts.Tolerance = m.cfg.DefaultTolerance
 	}
 	prev := opts.OnProgress
 	opts.OnProgress = func(p comfedsv.Progress) {
@@ -965,6 +990,10 @@ func (j *job) snapshot() Status {
 	if j.cacheStats != nil {
 		cs := *j.cacheStats
 		s.CacheStats = &cs
+	}
+	if j.report != nil {
+		s.ObservationsUsed = j.report.ObservationsUsed
+		s.ObservationsBudget = j.report.ObservationsBudget
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -11,13 +11,16 @@ import (
 // graph it turns into tasks. Prepare does the serial setup (training or
 // shared-run resolution, FedSV, observation planning) and returns how many
 // observation shards to schedule; ObserveShard calls for distinct shards
-// may run concurrently; Complete merges and solves; Extract produces the
-// report. Stats returns the shared-cache ledger, nil for pipelines that
-// don't value against a shared cache (inline jobs).
+// may run concurrently; Complete merges and solves — and, for adaptive
+// (tolerance-driven) pipelines, may return further observation shards to
+// schedule before the next Complete, their indices continuing where the
+// previous wave's left off; Extract produces the report once Complete
+// returned 0. Stats returns the shared-cache ledger, nil for pipelines
+// that don't value against a shared cache (inline jobs).
 type stagedValuation interface {
 	Prepare(ctx context.Context) (shards int, err error)
 	ObserveShard(ctx context.Context, shard int) error
-	Complete(ctx context.Context) error
+	Complete(ctx context.Context) (moreShards int, err error)
 	Extract(ctx context.Context) (*comfedsv.Report, error)
 	Stats() *comfedsv.EvalStats
 }
@@ -111,7 +114,7 @@ func (p *pipelineValuation) ObserveShard(ctx context.Context, shard int) error {
 	return p.v.ObserveShard(ctx, shard)
 }
 
-func (p *pipelineValuation) Complete(ctx context.Context) error { return p.v.Complete(ctx) }
+func (p *pipelineValuation) Complete(ctx context.Context) (int, error) { return p.v.Complete(ctx) }
 
 func (p *pipelineValuation) Extract(ctx context.Context) (*comfedsv.Report, error) {
 	return p.v.Extract(ctx)
@@ -146,7 +149,7 @@ func (mv *monoValuation) ObserveShard(ctx context.Context, _ int) error {
 	return nil
 }
 
-func (mv *monoValuation) Complete(context.Context) error { return nil }
+func (mv *monoValuation) Complete(context.Context) (int, error) { return 0, nil }
 
 func (mv *monoValuation) Extract(context.Context) (*comfedsv.Report, error) { return mv.rep, nil }
 
@@ -202,17 +205,38 @@ func (m *Manager) observeTask(j *job, shard int) *task {
 }
 
 // completeTask merges the shards in deterministic serial order and runs
-// the matrix-completion solve, then enqueues the extraction stage.
+// the matrix-completion solve. An adaptive pipeline's Complete may demand
+// another wave of observation shards; the done hook then fans those out —
+// indices continuing past the shards already run — and the last of them
+// enqueues the next completeTask, looping until Complete returns 0 and
+// the extraction stage runs.
 func (m *Manager) completeTask(j *job) *task {
+	var more int
 	return &task{
 		j:     j,
 		stage: taskComplete,
 		shard: -1,
 		run: func(ctx context.Context) error {
-			return j.val.Complete(ctx)
+			n, err := j.val.Complete(ctx)
+			if err != nil {
+				return err
+			}
+			more = n
+			return nil
 		},
 		done: func() {
-			m.enqueueLocked(j, m.extractTask(j))
+			if more == 0 {
+				m.enqueueLocked(j, m.extractTask(j))
+				return
+			}
+			start := j.shardsTotal
+			j.shardsTotal += more
+			j.shardsLeft += more
+			tasks := make([]*task, more)
+			for i := range tasks {
+				tasks[i] = m.observeTask(j, start+i)
+			}
+			m.enqueueLocked(j, tasks...)
 		},
 	}
 }
@@ -241,6 +265,9 @@ func (m *Manager) extractTask(j *job) *task {
 			j.report = rep
 			j.persistErr = persistErr
 			j.cacheStats = j.val.Stats()
+			if rep.ObservationsBudget > rep.ObservationsUsed {
+				m.obsSkipped += int64(rep.ObservationsBudget - rep.ObservationsUsed)
+			}
 			m.mu.Unlock()
 			return nil
 		},

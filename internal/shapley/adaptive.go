@@ -1,0 +1,372 @@
+package shapley
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"comfedsv/internal/mc"
+	"comfedsv/internal/utility"
+)
+
+// AdaptiveConfig parameterizes the tolerance-driven variant of Algorithm 1:
+// instead of exhausting a fixed permutation budget, sampling proceeds in
+// waves and stops as soon as the per-client Shapley estimates stabilize.
+type AdaptiveConfig struct {
+	// MonteCarloConfig carries the usual knobs; Samples is the permutation
+	// *budget* — the hard ceiling an adaptive run never exceeds, and the
+	// sample count it degrades to when the estimates refuse to settle.
+	MonteCarloConfig
+	// Tolerance is the convergence threshold: after each wave the plan
+	// recompletes the utility matrix and re-estimates every client's value
+	// over all permutations merged so far, and sampling stops once the
+	// largest absolute per-client change from the previous wave's estimate
+	// is at most Tolerance. Must be positive and finite.
+	Tolerance float64
+}
+
+// WaveStat describes one completed sampling wave of an adaptive plan.
+type WaveStat struct {
+	// Samples is the cumulative number of permutations merged after this
+	// wave (the wave's convergence-check point).
+	Samples int
+	// Shards is how many observation shards the wave was split into.
+	Shards int
+	// CompletionIterations is the ALS sweep count of the wave's completion
+	// solve — warm-started waves should need far fewer than the first.
+	CompletionIterations int
+	// MaxDelta is the largest absolute per-client change from the previous
+	// wave's estimate, −1 for the first wave (nothing to compare against).
+	MaxDelta float64
+}
+
+// AdaptivePlan is the wave-scheduled, tolerance-driven Monte-Carlo
+// pipeline. It reuses MonteCarloPlan's full-budget machinery (sampled
+// permutations, registered prefix columns, the observation store) and
+// replaces the single fixed observation pass with a converge-don't-budget
+// loop:
+//
+//	setup (NewAdaptivePlan)      sample the full budget of permutations,
+//	                             register prefix columns, cut wave bounds
+//	observe (ObserveShard × k)   the current wave's disjoint permutation
+//	                             slices evaluate their prefix cells
+//	advance (Advance)            merge the wave in serial order, solve the
+//	                             completion (warm-started from the previous
+//	                             wave's factors), re-estimate every client,
+//	                             and apply the convergence rule — returning
+//	                             either the next wave's shard count or 0
+//	extract (Extract)            assemble the result from the stopping
+//	                             wave's completion and estimates
+//
+// Determinism is the same pinned contract as MonteCarloPlan's, extended to
+// the stopping decision: the wave boundaries are a pure function of the
+// budget, the merged observation list is re-walked in serial order, the
+// warm-started completions are pure functions of their inputs, and the
+// convergence rule reads only the seed-determined merged estimates — so
+// the wave at which sampling stops, and therefore the final values, are
+// byte-identical for every shard count and every worker count.
+//
+// ObserveShard calls for the current wave's shards are safe to run
+// concurrently; Advance must be called only after every shard it scheduled
+// has returned, and is itself a serial checkpoint.
+type AdaptivePlan struct {
+	base *MonteCarloPlan
+	tol  float64
+
+	bounds []int // cumulative permutation counts per wave, last == budget
+	wave   int   // index of the wave currently being observed
+
+	slices    []waveSlice // global shard id → permutation slice
+	shardVals []map[obsCell]float64
+
+	est        []float64
+	completion *mc.Result
+	stats      []WaveStat
+	finished   bool
+	used       int
+}
+
+// waveSlice is one observation shard's permutation range within its wave.
+type waveSlice struct{ wave, lo, hi int }
+
+// NewAdaptivePlan samples the full permutation budget, registers every
+// prefix column, and schedules the first wave. The returned plan's
+// Shards() is the first wave's shard count.
+func NewAdaptivePlan(ctx context.Context, e utility.Source, cfg AdaptiveConfig) (*AdaptivePlan, error) {
+	if math.IsNaN(cfg.Tolerance) || math.IsInf(cfg.Tolerance, 0) || cfg.Tolerance <= 0 {
+		return nil, fmt.Errorf("shapley: adaptive tolerance must be positive and finite, got %v", cfg.Tolerance)
+	}
+	base, err := NewMonteCarloPlan(ctx, e, cfg.MonteCarloConfig)
+	if err != nil {
+		return nil, err
+	}
+	p := &AdaptivePlan{
+		base:   base,
+		tol:    cfg.Tolerance,
+		bounds: waveBounds(cfg.Samples),
+	}
+	p.scheduleWave(0)
+	return p, nil
+}
+
+// waveBounds cuts a permutation budget into the cumulative check points of
+// the adaptive schedule: the first wave is budget/8 (at least 16, at most
+// the budget) and each later wave doubles the cumulative count until the
+// budget is reached. Doubling keeps the number of completion solves
+// logarithmic in the budget while the early check points stay cheap enough
+// that a fast-converging job saves most of its observations. The bounds
+// are a pure function of the budget — never of shard count, worker count,
+// or anything observed at run time — which is what lets the stopping
+// decision stay byte-identical across scheduling configurations.
+func waveBounds(budget int) []int {
+	first := budget / 8
+	if first < 16 {
+		first = 16
+	}
+	if first > budget {
+		first = budget
+	}
+	bounds := []int{first}
+	for last := first; last < budget; {
+		last *= 2
+		if last > budget {
+			last = budget
+		}
+		bounds = append(bounds, last)
+	}
+	return bounds
+}
+
+// scheduleWave appends wave w's shard slices (contiguous, disjoint,
+// covering the wave's permutations) and returns how many it added. The
+// requested shard count is clamped to the wave's permutation count so
+// every shard owns at least one permutation.
+func (p *AdaptivePlan) scheduleWave(w int) int {
+	lo := 0
+	if w > 0 {
+		lo = p.bounds[w-1]
+	}
+	hi := p.bounds[w]
+	k := p.base.cfg.Shards
+	if k <= 0 {
+		k = 1
+	}
+	if k > hi-lo {
+		k = hi - lo
+	}
+	for i := 0; i < k; i++ {
+		p.slices = append(p.slices, waveSlice{
+			wave: w,
+			lo:   lo + i*(hi-lo)/k,
+			hi:   lo + (i+1)*(hi-lo)/k,
+		})
+		p.shardVals = append(p.shardVals, nil)
+	}
+	return k
+}
+
+// Shards returns the number of observation shards scheduled so far (the
+// first wave's count right after construction; Advance grows it).
+func (p *AdaptivePlan) Shards() int { return len(p.slices) }
+
+// Waves returns the per-wave statistics recorded by Advance so far.
+func (p *AdaptivePlan) Waves() []WaveStat { return p.stats }
+
+// Used returns the number of permutations the stopped plan consumed; valid
+// after Advance has returned 0.
+func (p *AdaptivePlan) Used() int { return p.used }
+
+// Budget returns the permutation budget (the fixed-mode sample count an
+// adaptive run is capped at).
+func (p *AdaptivePlan) Budget() int { return len(p.base.perms) }
+
+// ObserveShard collects and evaluates the distinct prefix cells reachable
+// from one scheduled shard's permutation slice, exactly as the fixed
+// plan's observe stage does. Shards of the current wave may run
+// concurrently; a shard index the plan has not scheduled yet panics.
+func (p *AdaptivePlan) ObserveShard(ctx context.Context, shard int) error {
+	if shard < 0 || shard >= len(p.slices) {
+		panic(fmt.Sprintf("shapley: adaptive observation shard %d out of [0,%d)", shard, len(p.slices)))
+	}
+	sl := p.slices[shard]
+	seen := make(map[obsCell]bool)
+	var keys []obsCell
+	var cells []utility.Cell
+	err := p.base.walkPrefixes(ctx, sl.lo, sl.hi, func(round, col int) {
+		oc := obsCell{round: round, col: col}
+		if seen[oc] {
+			return
+		}
+		seen[oc] = true
+		keys = append(keys, oc)
+		cells = append(cells, utility.Cell{Round: round, Subset: p.base.store.ColumnSet(col)})
+	})
+	if err != nil {
+		return err
+	}
+	vals, err := p.base.src.UtilityBatchCtx(ctx, cells, p.base.cfg.Workers)
+	if err != nil {
+		return err
+	}
+	shardVals := make(map[obsCell]float64, len(keys))
+	for i, k := range keys {
+		shardVals[k] = vals[i]
+	}
+	p.shardVals[shard] = shardVals
+	return nil
+}
+
+// Advance is the wave checkpoint: it merges the current wave's shard
+// observations into the store in deterministic serial order, solves the
+// completion (warm-started from the previous wave's factors, so the
+// re-solve converges in a fraction of the sweeps), re-estimates every
+// client over all merged permutations, and applies the convergence rule.
+// It returns the number of newly scheduled observation shards — 0 means
+// the plan converged (or exhausted its budget) and Extract may run. Every
+// shard scheduled so far must have been observed first.
+func (p *AdaptivePlan) Advance(ctx context.Context) (more int, err error) {
+	if p.finished {
+		return 0, errors.New("shapley: Advance after the adaptive plan finished")
+	}
+	lo := 0
+	if p.wave > 0 {
+		lo = p.bounds[p.wave-1]
+	}
+	hi := p.bounds[p.wave]
+
+	// Merge the wave: union its shard maps (overlapping cells carry equal
+	// values — the source is a deterministic memoized function of the
+	// trace), then record the wave's *new* cells by re-walking the wave's
+	// permutation range in the serial pipeline's visit order. Cells already
+	// observed by an earlier wave are ignored by the store, so the merged
+	// observation list is identical to a serial pipeline that walked wave
+	// after wave — regardless of shard count or completion order.
+	combined := make(map[obsCell]float64)
+	for shard, sl := range p.slices {
+		if sl.wave != p.wave {
+			continue
+		}
+		vals := p.shardVals[shard]
+		if vals == nil {
+			return 0, fmt.Errorf("shapley: adaptive shard %d (wave %d) was not run before Advance", shard, p.wave)
+		}
+		for k, v := range vals {
+			combined[k] = v
+		}
+	}
+	var missing error
+	err = p.base.walkPrefixes(ctx, lo, hi, func(round, col int) {
+		v, ok := combined[obsCell{round: round, col: col}]
+		if !ok && missing == nil {
+			missing = fmt.Errorf("shapley: adaptive merge visited cell (%d,%d) no shard evaluated", round, col)
+		}
+		p.base.store.Observe(round, p.base.store.ColumnSet(col), v)
+	})
+	if err != nil {
+		return 0, err
+	}
+	if missing != nil {
+		return 0, missing
+	}
+
+	// Re-complete over everything merged so far. The factor shapes are
+	// fixed by the full-budget column registration, so the previous wave's
+	// factors align row-for-row and warm-start the solve; a warm solve
+	// needs no restarts — its job is refinement, not basin search.
+	cc := p.base.cfg.Completion
+	if cc.Workers == 0 {
+		cc.Workers = p.base.cfg.Workers
+	}
+	if p.completion != nil {
+		cc.Warm = &mc.Warm{W: p.completion.W, H: p.completion.H}
+		cc.Restarts = 1
+	}
+	res, cerr := mc.Complete(toEntries(p.base.store.Observations()), p.base.t, p.base.store.NumColumns(), cc)
+	if cerr != nil {
+		return 0, fmt.Errorf("shapley: completing wave %d: %w", p.wave, cerr)
+	}
+	est, eerr := p.base.estimate(ctx, hi, res)
+	if eerr != nil {
+		return 0, eerr
+	}
+
+	// The convergence rule — a pure function of the merged estimates: stop
+	// once no client's estimate moved more than the tolerance since the
+	// previous wave. The first wave has nothing to compare against and
+	// never stops (MaxDelta −1).
+	delta := -1.0
+	converged := false
+	if p.wave > 0 {
+		delta = 0
+		for i, v := range est {
+			if d := math.Abs(v - p.est[i]); d > delta {
+				delta = d
+			}
+		}
+		converged = delta <= p.tol
+	}
+	p.stats = append(p.stats, WaveStat{
+		Samples:              hi,
+		Shards:               p.waveShardCount(p.wave),
+		CompletionIterations: res.Iterations,
+		MaxDelta:             delta,
+	})
+	p.completion = res
+	p.est = est
+
+	if converged || p.wave == len(p.bounds)-1 {
+		p.finished = true
+		p.used = hi
+		return 0, nil
+	}
+	p.wave++
+	return p.scheduleWave(p.wave), nil
+}
+
+// waveShardCount returns how many shards wave w was split into.
+func (p *AdaptivePlan) waveShardCount(w int) int {
+	n := 0
+	for _, sl := range p.slices {
+		if sl.wave == w {
+			n++
+		}
+	}
+	return n
+}
+
+// Extract assembles the result from the stopping wave's completion and
+// estimates. The unobserved-column diagnostic counts only columns
+// reachable from the permutations actually used — columns registered for
+// the unsampled remainder of the budget are not "missing", they were
+// deliberately skipped.
+func (p *AdaptivePlan) Extract(ctx context.Context) (*MonteCarloResult, error) {
+	if !p.finished {
+		return nil, errors.New("shapley: Extract before the adaptive plan finished")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	observed := make([]bool, p.base.store.NumColumns())
+	for _, o := range p.base.store.Observations() {
+		observed[o.Col] = true
+	}
+	reachable := make(map[int]bool)
+	for _, cols := range p.base.prefixCols[:p.used] {
+		for _, c := range cols {
+			reachable[c] = true
+		}
+	}
+	missing := 0
+	for c := range reachable {
+		if !observed[c] {
+			missing++
+		}
+	}
+	return &MonteCarloResult{
+		Values:            p.est,
+		Completion:        p.completion,
+		Store:             p.base.store,
+		UnobservedColumns: missing,
+	}, nil
+}

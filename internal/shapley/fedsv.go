@@ -85,8 +85,23 @@ func FedSVCtx(ctx context.Context, e utility.Source) ([]float64, error) {
 // O(T·K²·log K) utility calls. Required when |I_t| is too large for exact
 // enumeration (e.g. the 100-client noisy-label experiment).
 func FedSVMonteCarlo(e utility.Source, samples int, seed int64) []float64 {
+	values, err := FedSVMonteCarloCtx(context.Background(), e, samples, seed)
+	if err != nil {
+		// The background context never cancels, so this is the bad sample
+		// count — panic to preserve the historical contract.
+		panic(err)
+	}
+	return values
+}
+
+// FedSVMonteCarloCtx is FedSVMonteCarlo with cooperative cancellation,
+// checked once per sampled permutation, and an error instead of a panic for
+// a non-positive sample count. The permutation stream is a pure function of
+// the seed, so cancellation never changes the values a finished call
+// returns.
+func FedSVMonteCarloCtx(ctx context.Context, e utility.Source, samples int, seed int64) ([]float64, error) {
 	if samples <= 0 {
-		panic(fmt.Sprintf("shapley: non-positive sample count %d", samples))
+		return nil, fmt.Errorf("shapley: non-positive sample count %d", samples)
 	}
 	n := e.Run().NumClients()
 	g := rng.New(seed)
@@ -96,6 +111,9 @@ func FedSVMonteCarlo(e utility.Source, samples int, seed int64) []float64 {
 		k := len(sel)
 		inv := 1 / float64(samples)
 		for m := 0; m < samples; m++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			order := g.Perm(k)
 			prefix := utility.NewSet(n)
 			prev := 0.0
@@ -108,5 +126,5 @@ func FedSVMonteCarlo(e utility.Source, samples int, seed int64) []float64 {
 			}
 		}
 	}
-	return values
+	return values, nil
 }

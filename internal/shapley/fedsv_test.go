@@ -1,6 +1,7 @@
 package shapley
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -103,6 +104,29 @@ func TestFedSVMonteCarloApproximatesExact(t *testing.T) {
 		if math.Abs(exact[i]-approx[i]) > 0.05*(1+math.Abs(exact[i])) {
 			t.Fatalf("MC FedSV %v too far from exact %v at client %d", approx, exact, i)
 		}
+	}
+}
+
+func TestFedSVMonteCarloCtxMatchesAndCancels(t *testing.T) {
+	e := testEvaluator(t, 5, 3, 3, 39)
+	want := FedSVMonteCarlo(e, 50, 40)
+	got, err := FedSVMonteCarloCtx(context.Background(), e, 50, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("ctx variant diverges at client %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FedSVMonteCarloCtx(ctx, e, 50, 40); err != context.Canceled {
+		t.Fatalf("cancelled FedSVMonteCarloCtx = %v, want context.Canceled", err)
+	}
+	if _, err := FedSVMonteCarloCtx(context.Background(), e, 0, 1); err == nil {
+		t.Fatal("non-positive samples accepted")
 	}
 }
 

@@ -280,14 +280,31 @@ func (p *MonteCarloPlan) Extract(ctx context.Context) (*MonteCarloResult, error)
 		}
 	}
 
-	// Estimate ŝ_i per (12): average over permutations of the summed
-	// completed marginal contributions. The empty prefix has utility 0.
+	values, err := p.estimate(ctx, len(p.perms), res)
+	if err != nil {
+		return nil, err
+	}
+	return &MonteCarloResult{
+		Values:            values,
+		Completion:        res,
+		Store:             p.store,
+		UnobservedColumns: missing,
+	}, nil
+}
+
+// estimate computes the per-client ComFedSV estimates ŝ_i of the
+// permutation form (12) restricted to the first m sampled permutations:
+// the average over those permutations of the summed completed marginal
+// contributions. The empty prefix has utility 0. It is shared by the
+// full-budget Extract (m = all permutations) and the adaptive plan's
+// per-wave running estimates (m = permutations merged so far).
+func (p *MonteCarloPlan) estimate(ctx context.Context, m int, res *mc.Result) ([]float64, error) {
 	values := make([]float64, p.n)
-	for m, perm := range p.perms {
+	for i, perm := range p.perms[:m] {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		cols := p.prefixCols[m]
+		cols := p.prefixCols[i]
 		for round := 0; round < p.t; round++ {
 			wt := res.W.Row(round)
 			prev := 0.0
@@ -298,16 +315,11 @@ func (p *MonteCarloPlan) Extract(ctx context.Context) (*MonteCarloResult, error)
 			}
 		}
 	}
-	inv := 1 / float64(len(p.perms))
+	inv := 1 / float64(m)
 	for i := range values {
 		values[i] *= inv
 	}
-	return &MonteCarloResult{
-		Values:            values,
-		Completion:        res,
-		Store:             p.store,
-		UnobservedColumns: missing,
-	}, nil
+	return values, nil
 }
 
 // ExactPlan is the exact (non-sampled) Definition 4 pipeline split into

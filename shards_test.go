@@ -132,8 +132,10 @@ func TestValuationConcurrentShardsMatchSerial(t *testing.T) {
 			t.Fatalf("shard %d: %v", i, err)
 		}
 	}
-	if err := v.Complete(context.Background()); err != nil {
+	if more, err := v.Complete(context.Background()); err != nil {
 		t.Fatal(err)
+	} else if more != 0 {
+		t.Fatalf("fixed-budget Complete scheduled %d more shards, want 0", more)
 	}
 	got, err := v.Extract(context.Background())
 	if err != nil {

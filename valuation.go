@@ -2,6 +2,9 @@ package comfedsv
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -18,7 +21,9 @@ import (
 //	ObserveShard×S disjoint Monte-Carlo permutation slices evaluate their
 //	               prefix cells (safe to run concurrently)
 //	Complete       deterministic serial-order merge into the utility
-//	               matrix, then the ALS completion solve
+//	               matrix, then the ALS completion solve; in adaptive
+//	               (tolerance-driven) mode it is the wave checkpoint and
+//	               may return additional observation shards to schedule
 //	Extract        Shapley extraction and report assembly
 //
 // Run drives the stages serially; Value/ValueCtx and ValueRun/ValueRunCtx
@@ -40,6 +45,7 @@ type Valuation struct {
 
 	report   *Report
 	mcPlan   *shapley.MonteCarloPlan
+	adaptive *shapley.AdaptivePlan
 	exact    *shapley.ExactPlan
 	shards   int
 	observed atomic.Int64
@@ -68,17 +74,54 @@ func (v *Valuation) emitTime(stage string, shard int, start time.Time) {
 	}
 }
 
+// valuationBudget resolves the Monte-Carlo permutation budget and the
+// valuation mode from the options: fixed budget (MonteCarloSamples, no
+// tolerance), adaptive (Tolerance plus a budget via MonteCarloSamples or
+// MaxPermutations), or exact (neither). Contradictory combinations fail
+// loudly here, before any training-trace work is spent.
+func valuationBudget(opts Options) (budget int, adaptive bool, err error) {
+	if opts.MaxPermutations < 0 {
+		return 0, false, fmt.Errorf("comfedsv: negative MaxPermutations %d", opts.MaxPermutations)
+	}
+	if opts.Tolerance != 0 && (math.IsNaN(opts.Tolerance) || math.IsInf(opts.Tolerance, 0) || opts.Tolerance < 0) {
+		return 0, false, fmt.Errorf("comfedsv: tolerance must be positive and finite, got %v", opts.Tolerance)
+	}
+	if opts.Tolerance == 0 {
+		if opts.MaxPermutations > 0 {
+			return 0, false, errors.New("comfedsv: MaxPermutations requires Tolerance; fixed-budget runs use MonteCarloSamples")
+		}
+		return opts.MonteCarloSamples, false, nil
+	}
+	budget = opts.MonteCarloSamples
+	if opts.MaxPermutations > 0 {
+		if budget > 0 && budget != opts.MaxPermutations {
+			return 0, false, fmt.Errorf("comfedsv: MonteCarloSamples (%d) and MaxPermutations (%d) disagree", budget, opts.MaxPermutations)
+		}
+		budget = opts.MaxPermutations
+	}
+	if budget <= 0 {
+		return 0, false, errors.New("comfedsv: Tolerance requires a positive permutation budget (MonteCarloSamples or MaxPermutations)")
+	}
+	return budget, true, nil
+}
+
 // Prepare computes the final-model metrics and the FedSV baseline, then
 // builds the ComFedSV observation plan. It returns the number of
 // observation shards to schedule (always 1 for the exact pipeline — its
-// observation region has no permutation structure to shard).
+// observation region has no permutation structure to shard; the first
+// wave's count for an adaptive plan, whose Complete may schedule more).
 func (v *Valuation) Prepare(ctx context.Context) (int, error) {
+	budget, adaptive, err := valuationBudget(v.opts)
+	if err != nil {
+		return 0, err
+	}
+
 	loss, acc := v.tr.finalMetrics()
 	v.report = &Report{FinalTestLoss: loss, FinalAccuracy: acc}
 
 	v.emit(Progress{Stage: StageFedSV, Done: 0, Total: 1})
 	fedsvStart := time.Now()
-	fedsv, err := shapley.FedSVCtx(ctx, v.session)
+	fedsv, err := v.fedSV(ctx)
 	if err != nil {
 		return 0, stageErr(ctx, "fedsv", err)
 	}
@@ -88,9 +131,26 @@ func (v *Valuation) Prepare(ctx context.Context) (int, error) {
 
 	mcCfg := mc.DefaultConfig(v.opts.Rank)
 	mcCfg.Workers = v.opts.Parallelism
-	if v.opts.MonteCarloSamples > 0 {
+	switch {
+	case adaptive:
+		plan, err := shapley.NewAdaptivePlan(ctx, v.session, shapley.AdaptiveConfig{
+			MonteCarloConfig: shapley.MonteCarloConfig{
+				Samples:    budget,
+				Completion: mcCfg,
+				Seed:       v.opts.Seed + 1,
+				Workers:    v.opts.Parallelism,
+				Shards:     v.opts.Shards,
+			},
+			Tolerance: v.opts.Tolerance,
+		})
+		if err != nil {
+			return 0, stageErr(ctx, "valuation", err)
+		}
+		v.adaptive = plan
+		v.shards = plan.Shards()
+	case budget > 0:
 		plan, err := shapley.NewMonteCarloPlan(ctx, v.session, shapley.MonteCarloConfig{
-			Samples:    v.opts.MonteCarloSamples,
+			Samples:    budget,
 			Completion: mcCfg,
 			Seed:       v.opts.Seed + 1,
 			Workers:    v.opts.Parallelism,
@@ -101,7 +161,7 @@ func (v *Valuation) Prepare(ctx context.Context) (int, error) {
 		}
 		v.mcPlan = plan
 		v.shards = plan.Shards()
-	} else {
+	default:
 		plan, err := shapley.NewExactPlan(v.session, mcCfg)
 		if err != nil {
 			return 0, stageErr(ctx, "valuation", err)
@@ -113,6 +173,29 @@ func (v *Valuation) Prepare(ctx context.Context) (int, error) {
 	return v.shards, nil
 }
 
+// fedSV computes the FedSV baseline: exact per-round enumeration (Wang et
+// al., Definition 2) when every round's selection fits, otherwise the
+// paper's sampled-permutation estimator (Section VII-D), so a round that
+// selects more than 20 clients — e.g. a full-participation warm-up round in
+// a large federation — degrades the baseline to an estimate instead of
+// failing the job. The sample count follows the paper's O(T·K²·log K)
+// utility-call cost (⌈K·ln K⌉+1 permutations per round) and the estimator
+// is seeded from the job seed, so the baseline — like everything else in
+// the report — is a pure function of the options.
+func (v *Valuation) fedSV(ctx context.Context) ([]float64, error) {
+	maxSel := 0
+	for _, rd := range v.session.Run().Rounds {
+		if len(rd.Selected) > maxSel {
+			maxSel = len(rd.Selected)
+		}
+	}
+	if maxSel <= 20 {
+		return shapley.FedSVCtx(ctx, v.session)
+	}
+	samples := int(math.Ceil(float64(maxSel)*math.Log(float64(maxSel)))) + 1
+	return shapley.FedSVMonteCarloCtx(ctx, v.session, samples, v.opts.Seed+2)
+}
+
 // Shards returns the observation shard count decided by Prepare.
 func (v *Valuation) Shards() int { return v.shards }
 
@@ -122,9 +205,12 @@ func (v *Valuation) Shards() int { return v.shards }
 func (v *Valuation) ObserveShard(ctx context.Context, shard int) error {
 	start := time.Now()
 	var err error
-	if v.mcPlan != nil {
+	switch {
+	case v.adaptive != nil:
+		err = v.adaptive.ObserveShard(ctx, shard)
+	case v.mcPlan != nil:
 		err = v.mcPlan.ObserveShard(ctx, shard)
-	} else {
+	default:
 		err = v.exact.Observe(ctx)
 	}
 	if err != nil {
@@ -136,25 +222,42 @@ func (v *Valuation) ObserveShard(ctx context.Context, shard int) error {
 }
 
 // Complete merges the shard observations in deterministic serial order and
-// solves the matrix-completion problem.
-func (v *Valuation) Complete(ctx context.Context) error {
+// solves the matrix-completion problem. In adaptive mode it is the wave
+// checkpoint: it returns the number of additional observation shards the
+// caller must schedule before calling Complete again (their indices
+// continue where the previous wave's left off), or 0 when the estimates
+// converged and Extract may run. Fixed-budget and exact pipelines always
+// return 0 — one Complete finishes them.
+func (v *Valuation) Complete(ctx context.Context) (int, error) {
 	v.emit(Progress{Stage: StageComplete, Done: 0, Total: 1})
 	start := time.Now()
-	if v.mcPlan != nil {
+	more := 0
+	switch {
+	case v.adaptive != nil:
+		m, err := v.adaptive.Advance(ctx)
+		if err != nil {
+			return 0, stageErr(ctx, "valuation", err)
+		}
+		more = m
+	case v.mcPlan != nil:
 		if err := v.mcPlan.Merge(ctx); err != nil {
-			return stageErr(ctx, "valuation", err)
+			return 0, stageErr(ctx, "valuation", err)
 		}
 		if err := v.mcPlan.Complete(ctx); err != nil {
-			return stageErr(ctx, "valuation", err)
+			return 0, stageErr(ctx, "valuation", err)
 		}
-	} else {
+	default:
 		if err := v.exact.Complete(ctx); err != nil {
-			return stageErr(ctx, "valuation", err)
+			return 0, stageErr(ctx, "valuation", err)
 		}
 	}
 	v.emitTime(StageComplete, -1, start)
 	v.emit(Progress{Stage: StageComplete, Done: 1, Total: 1})
-	return nil
+	if more > 0 {
+		v.shards += more
+		v.emit(Progress{Stage: StageObserve, Done: int(v.observed.Load()), Total: v.shards})
+	}
+	return more, nil
 }
 
 // Extract computes the ComFedSV values from the completed factorization
@@ -162,7 +265,17 @@ func (v *Valuation) Complete(ctx context.Context) error {
 func (v *Valuation) Extract(ctx context.Context) (*Report, error) {
 	v.emit(Progress{Stage: StageShapley, Done: 0, Total: 1})
 	start := time.Now()
-	if v.mcPlan != nil {
+	if v.adaptive != nil {
+		res, err := v.adaptive.Extract(ctx)
+		if err != nil {
+			return nil, stageErr(ctx, "valuation", err)
+		}
+		v.report.ComFedSV = res.Values
+		v.report.ObservedDensity = res.Store.Density()
+		v.report.CompletionRMSE = res.Completion.TrainRMSE
+		v.report.ObservationsUsed = v.adaptive.Used()
+		v.report.ObservationsBudget = v.adaptive.Budget()
+	} else if v.mcPlan != nil {
 		res, err := v.mcPlan.Extract(ctx)
 		if err != nil {
 			return nil, stageErr(ctx, "valuation", err)
@@ -196,20 +309,26 @@ func (v *Valuation) Stats() EvalStats {
 }
 
 // Run drives every stage serially: prepare, each observation shard in
-// order, complete, extract. It is the one-goroutine execution of the same
-// graph the comfedsvd scheduler interleaves across its pool.
+// order, complete, extract — looping observe→complete while an adaptive
+// plan keeps scheduling waves. It is the one-goroutine execution of the
+// same graph the comfedsvd scheduler interleaves across its pool.
 func (v *Valuation) Run(ctx context.Context) (*Report, error) {
-	shards, err := v.Prepare(ctx)
+	pending, err := v.Prepare(ctx)
 	if err != nil {
 		return nil, err
 	}
-	for shard := 0; shard < shards; shard++ {
-		if err := v.ObserveShard(ctx, shard); err != nil {
+	next := 0
+	for pending > 0 {
+		for i := 0; i < pending; i++ {
+			if err := v.ObserveShard(ctx, next+i); err != nil {
+				return nil, err
+			}
+		}
+		next += pending
+		pending, err = v.Complete(ctx)
+		if err != nil {
 			return nil, err
 		}
-	}
-	if err := v.Complete(ctx); err != nil {
-		return nil, err
 	}
 	return v.Extract(ctx)
 }
