@@ -47,6 +47,9 @@ func main() {
 		storeDir  = flag.String("store", "", "directory for persisted job reports (empty = in-memory only)")
 		runsDir   = flag.String("runs-dir", "", "directory for persisted shared training runs (empty = in-memory only)")
 		jobTTL    = flag.Duration("job-ttl", 0, "evict terminal jobs (memory and store) this long after they finish (0 = keep forever)")
+		retries   = flag.Int("max-task-retries", 3, "max re-executions of a transiently failed stage task before the job fails")
+		taskTO    = flag.Duration("task-timeout", 0, "per-task execution deadline; a timed-out task is retried as transient (0 = none)")
+		jobTO     = flag.Duration("job-timeout", 0, "whole-job wall-clock deadline from start to finish (0 = none)")
 		timeout   = flag.Duration("drain", 30*time.Second, "max time to drain running jobs on shutdown")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled); keep it off any public interface")
 		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of logfmt-style text")
@@ -83,6 +86,9 @@ func main() {
 		DefaultShards:      *shards,
 		DefaultTolerance:   *tol,
 		JobTTL:             *jobTTL,
+		MaxTaskRetries:     *retries,
+		TaskTimeout:        *taskTO,
+		JobTimeout:         *jobTO,
 		Logger:             logger,
 	}
 	if *storeDir != "" {
@@ -115,7 +121,10 @@ func main() {
 		// Bound the whole request read: without it a client trickling a
 		// large job body holds a connection and goroutine open forever.
 		ReadTimeout: 5 * time.Minute,
-		IdleTimeout: 2 * time.Minute,
+		// Reports for large jobs are big but written in one burst; a minute
+		// of write budget only ever cuts off a stalled reader.
+		WriteTimeout: time.Minute,
+		IdleTimeout:  2 * time.Minute,
 	}
 
 	if *pprofAddr != "" {
@@ -127,7 +136,16 @@ func main() {
 		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		psrv := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		psrv := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           pmux,
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       time.Minute,
+			// CPU and trace profiles stream for their whole profiling window;
+			// give writes a generous but bounded budget.
+			WriteTimeout: 5 * time.Minute,
+			IdleTimeout:  2 * time.Minute,
+		}
 		go func() {
 			logger.Info("pprof listening", "addr", *pprofAddr)
 			if err := psrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

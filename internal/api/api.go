@@ -18,7 +18,8 @@
 // Every response body is JSON (except /v1/metrics, which is Prometheus
 // text exposition); errors are {"error": "..."} with a meaningful status
 // code (400 malformed, 404 unknown job/run, 409 report not ready, job
-// still active, or run still referenced, 503 queue full or shutting down).
+// still active, or run still referenced, 429 with Retry-After when the
+// queue is full, 503 shutting down).
 package api
 
 import (
@@ -321,7 +322,14 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, service.ErrRunNotFound):
 		writeError(w, http.StatusNotFound, err)
 		return
-	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrShutdown):
+	case errors.Is(err, service.ErrQueueFull):
+		// Backpressure, not unavailability: the daemon is healthy, the
+		// queue is momentarily full. 429 + Retry-After tells well-behaved
+		// clients to back off and resubmit.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, service.ErrShutdown):
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
@@ -525,6 +533,19 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "comfedsvd_shard_tasks_executed_total %d\n", m.ShardTasksExecuted)
 	b.WriteString("# HELP comfedsvd_jobs_evicted_total Terminal jobs evicted by the TTL janitor.\n# TYPE comfedsvd_jobs_evicted_total counter\n")
 	fmt.Fprintf(&b, "comfedsvd_jobs_evicted_total %d\n", m.JobsEvicted)
+	b.WriteString("# HELP comfedsvd_task_retries_total Transient task failures re-executed via backoff, by pipeline stage.\n# TYPE comfedsvd_task_retries_total counter\n")
+	retryStages := make([]string, 0, len(m.TaskRetries))
+	for stage := range m.TaskRetries {
+		retryStages = append(retryStages, stage)
+	}
+	sort.Strings(retryStages)
+	for _, stage := range retryStages {
+		fmt.Fprintf(&b, "comfedsvd_task_retries_total{stage=%q} %d\n", stage, m.TaskRetries[stage])
+	}
+	b.WriteString("# HELP comfedsvd_jobs_recovered_total Jobs resumed from crash journals at daemon startup.\n# TYPE comfedsvd_jobs_recovered_total counter\n")
+	fmt.Fprintf(&b, "comfedsvd_jobs_recovered_total %d\n", m.JobsRecovered)
+	b.WriteString("# HELP comfedsvd_jobs_rejected_total Job submissions refused by the queue bound.\n# TYPE comfedsvd_jobs_rejected_total counter\n")
+	fmt.Fprintf(&b, "comfedsvd_jobs_rejected_total %d\n", m.JobsRejected)
 	b.WriteString("# HELP comfedsvd_observations_skipped_total Budgeted permutations adaptive jobs never sampled because their estimates converged early.\n# TYPE comfedsvd_observations_skipped_total counter\n")
 	fmt.Fprintf(&b, "comfedsvd_observations_skipped_total %d\n", m.ObservationsSkipped)
 

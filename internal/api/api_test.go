@@ -813,6 +813,9 @@ func TestDaemonMetricsEndpoint(t *testing.T) {
 		`comfedsvd_tasks_executed_total{stage="shapley"} 1`,
 		`comfedsvd_shard_tasks_executed_total 2`,
 		`comfedsvd_jobs_evicted_total 0`,
+		"# TYPE comfedsvd_task_retries_total counter",
+		`comfedsvd_jobs_recovered_total 0`,
+		`comfedsvd_jobs_rejected_total 0`,
 	} {
 		if !strings.Contains(string(text), want) {
 			t.Fatalf("metrics output missing %q:\n%s", want, text)

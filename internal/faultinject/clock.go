@@ -1,0 +1,77 @@
+package faultinject
+
+import (
+	"sync"
+	"time"
+)
+
+// ManualClock is a deterministic clock for retry/backoff and deadline
+// tests: time only moves when the test calls Advance, so a chaos suite
+// exercising exponential backoff or a per-job deadline runs instantly
+// and never flakes on scheduler jitter. It satisfies the service
+// package's Clock contract (Now + After) structurally.
+type ManualClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []waiter
+}
+
+type waiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewManualClock returns a clock frozen at the given instant.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now returns the clock's current instant.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that receives the clock's time once Advance
+// has moved it at least d past the current instant. A non-positive d
+// fires on the next Advance call (never synchronously), keeping wake
+// order deterministic.
+func (c *ManualClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	c.waiters = append(c.waiters, waiter{at: c.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward and fires every waiter whose deadline
+// has been reached, in registration order.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	var due []chan time.Time
+	rest := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.at.After(now) {
+			due = append(due, w.ch)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	c.waiters = rest
+	c.mu.Unlock()
+	for _, ch := range due {
+		ch <- now
+	}
+}
+
+// Waiters returns how many After channels have not fired yet — the
+// synchronization handle tests use to know a backoff sleep was entered
+// before advancing the clock.
+func (c *ManualClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}

@@ -1,0 +1,212 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func taskPoint(stage string, shard int) Point {
+	return Point{Op: OpTask, Stage: stage, Shard: shard}
+}
+
+func TestFailNthFiresExactlyOnce(t *testing.T) {
+	h := FailNth("observe", 2)
+	if err := h(taskPoint("observe", 0)); err != nil {
+		t.Fatalf("first match must pass, got %v", err)
+	}
+	if err := h(taskPoint("prepare", -1)); err != nil {
+		t.Fatalf("non-matching stage must pass, got %v", err)
+	}
+	err := h(taskPoint("observe", 1))
+	if err == nil {
+		t.Fatal("second match must fail")
+	}
+	if !isTransient(err) {
+		t.Fatalf("FailNth fault must be transient, got %v", err)
+	}
+	if err := h(taskPoint("observe", 2)); err != nil {
+		t.Fatalf("rule must not fire twice, got %v", err)
+	}
+}
+
+func TestFailNthFatalIsNotTransient(t *testing.T) {
+	h := FailNthFatal("", 1)
+	err := h(taskPoint("complete", -1))
+	if err == nil || isTransient(err) {
+		t.Fatalf("fatal fault must be a permanent error, got %v", err)
+	}
+}
+
+func TestPanicNthReturnsPanicError(t *testing.T) {
+	h := PanicNth("shapley", 1)
+	err := h(taskPoint("shapley", -1))
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+}
+
+func TestCrashNthMatchesOpAndStage(t *testing.T) {
+	h := CrashNth(OpJournalBefore, "task", 1)
+	if err := h(Point{Op: OpJournalAfter, Stage: "task"}); err != nil {
+		t.Fatalf("wrong op must pass, got %v", err)
+	}
+	if err := h(Point{Op: OpJournalBefore, Stage: "submit"}); err != nil {
+		t.Fatalf("wrong stage must pass, got %v", err)
+	}
+	if err := h(Point{Op: OpJournalBefore, Stage: "task"}); !errors.Is(err, ErrCrash) {
+		t.Fatalf("want ErrCrash, got %v", err)
+	}
+}
+
+func TestCrashAtJournalOpCountsBothKinds(t *testing.T) {
+	h := CrashAtJournalOp(3)
+	pts := []Point{
+		{Op: OpJournalBefore, Stage: "submit"},
+		{Op: OpJournalAfter, Stage: "submit"},
+		{Op: OpJournalBefore, Stage: "task"},
+	}
+	if err := h(taskPoint("prepare", -1)); err != nil {
+		t.Fatalf("task points must not count, got %v", err)
+	}
+	for i, p := range pts[:2] {
+		if err := h(p); err != nil {
+			t.Fatalf("point %d must pass, got %v", i, err)
+		}
+	}
+	if err := h(pts[2]); !errors.Is(err, ErrCrash) {
+		t.Fatalf("third journal op must crash, got %v", err)
+	}
+}
+
+func TestChainFirstFaultWins(t *testing.T) {
+	h := Chain(nil, FailNth("observe", 1), PanicNth("observe", 1))
+	err := h(taskPoint("observe", 0))
+	if err == nil || !isTransient(err) {
+		t.Fatalf("chain must surface the first hook's fault, got %v", err)
+	}
+	// The panic rule was never consulted for the faulted point, so its
+	// counter fires on the next one.
+	var pe *PanicError
+	if err := h(taskPoint("observe", 1)); !errors.As(err, &pe) {
+		t.Fatalf("second hook must fire next, got %v", err)
+	}
+}
+
+func TestSeededIsDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		h := Seeded("observe", 0.5, seed)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = h(taskPoint("observe", i)) != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at point %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+	fired := 0
+	for _, hit := range a {
+		if hit {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("rate 0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestTransientWrapping(t *testing.T) {
+	base := errors.New("boom")
+	err := Transient(base)
+	if !isTransient(err) {
+		t.Fatal("Transient(err) must be transient")
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("Transient must preserve the wrapped error")
+	}
+	if !isTransient(Transient(nil)) {
+		t.Fatal("Transient(nil) must still mark a fault")
+	}
+}
+
+func TestNotifyObservesWithoutFaulting(t *testing.T) {
+	var got []Point
+	h := Notify(OpJournalAfter, "", func(p Point) { got = append(got, p) })
+	if err := h(Point{Op: OpJournalAfter, Stage: "task", Shard: 3}); err != nil {
+		t.Fatalf("notify must not fault, got %v", err)
+	}
+	if err := h(taskPoint("observe", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Shard != 3 {
+		t.Fatalf("notify saw %v, want the single journal point", got)
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	start := time.Unix(1000, 0)
+	c := NewManualClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+	ch1 := c.After(10 * time.Millisecond)
+	ch2 := c.After(30 * time.Millisecond)
+	if c.Waiters() != 2 {
+		t.Fatalf("waiters = %d, want 2", c.Waiters())
+	}
+	select {
+	case <-ch1:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	c.Advance(10 * time.Millisecond)
+	select {
+	case <-ch1:
+	default:
+		t.Fatal("10ms timer must fire after Advance(10ms)")
+	}
+	select {
+	case <-ch2:
+		t.Fatal("30ms timer fired early")
+	default:
+	}
+	c.Advance(20 * time.Millisecond)
+	select {
+	case ts := <-ch2:
+		if !ts.Equal(start.Add(30 * time.Millisecond)) {
+			t.Fatalf("fire time %v, want start+30ms", ts)
+		}
+	default:
+		t.Fatal("30ms timer must fire after 30ms total")
+	}
+	if c.Waiters() != 0 {
+		t.Fatalf("waiters = %d, want 0", c.Waiters())
+	}
+}
+
+// isTransient mirrors the scheduler's classifier: an error chain exposing
+// Transient() true is retryable.
+func isTransient(err error) bool {
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if m, ok := e.(interface{ Transient() bool }); ok {
+			return m.Transient()
+		}
+	}
+	return false
+}

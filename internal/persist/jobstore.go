@@ -209,10 +209,11 @@ func (s *JobStore) ListJobReports() ([]string, error) {
 	return ids, nil
 }
 
-// DeleteJob removes every artifact stored for job id. Missing artifacts
-// are not an error.
+// DeleteJob removes every artifact stored for job id — trace, report,
+// journal, and any quarantined journal. Missing artifacts are not an
+// error.
 func (s *JobStore) DeleteJob(id string) error {
-	for _, suffix := range []string{runSuffix, reportSuffix} {
+	for _, suffix := range []string{runSuffix, reportSuffix, journalSuffix, corruptSuffix} {
 		path, err := s.path(id, suffix)
 		if err != nil {
 			return err

@@ -1,0 +1,258 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"comfedsv/internal/faultinject"
+)
+
+// Journal record types and file suffixes.
+const (
+	journalSuffix = ".journal"
+	corruptSuffix = ".journal.corrupt"
+
+	// RecSubmit is a journal's first record: the full job request
+	// (datasets or run reference plus effective options), everything a
+	// restarted daemon needs to re-derive the job deterministically.
+	RecSubmit = "submit"
+	// RecTask records one completed stage task (prepare / observe /
+	// complete / shapley) with its stage-specific payload.
+	RecTask = "task"
+	// RecFail records a terminal job failure, so a failed job survives a
+	// restart as failed instead of silently re-running.
+	RecFail = "fail"
+)
+
+// ErrCorruptJournal reports a journal whose decoded prefix is unusable: a
+// complete (newline-terminated) record that does not parse, or a missing
+// or malformed leading submit record. A torn trailing record with no
+// newline is NOT corruption — that is exactly what a crash mid-append
+// leaves behind, and recovery drops it and resumes from the last durable
+// record.
+var ErrCorruptJournal = errors.New("persist: corrupt job journal")
+
+// JournalRecord is one append-only entry in a job's task journal.
+type JournalRecord struct {
+	Type string    `json:"type"`
+	Time time.Time `json:"time,omitempty"`
+	// Stage is the completed task's stage name for RecTask records.
+	Stage string `json:"stage,omitempty"`
+	// Shard is the observation shard index of an observe task record.
+	Shard int `json:"shard,omitempty"`
+	// Shards is the planned shard count on a prepare record, and the
+	// number of additional wave shards on a complete record.
+	Shards int `json:"shards,omitempty"`
+	// Digest is the content hash of an observation shard's evaluated
+	// cells — recovery re-executes the shard (observation is a pure
+	// function of the journaled request) and verifies the re-derived
+	// cells hash identically, turning any determinism violation into a
+	// loud failure instead of a silently different report.
+	Digest string `json:"digest,omitempty"`
+	// Error is the failure reason on RecFail records.
+	Error string `json:"error,omitempty"`
+	// Request is the service-defined request payload on RecSubmit records.
+	Request json.RawMessage `json:"request,omitempty"`
+}
+
+// Journal is one job's append-only task journal: each Append marshals a
+// record to a single JSON line, writes it in one call, and fsyncs before
+// returning, so every acknowledged record survives a crash and a torn
+// write can only ever be the trailing line. A Journal is safe for
+// concurrent use; the service serializes appends per task anyway.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	id   string
+	hook faultinject.Hook
+	dead error // non-nil after a simulated crash: appends are dropped
+}
+
+// OpenJournal opens (creating if needed) the append-only journal of job
+// id. The hook, if non-nil, is consulted before and after every append —
+// the crash-point seam of the chaos suites; pass nil in production.
+func (s *JobStore) OpenJournal(id string, hook faultinject.Hook) (*Journal, error) {
+	path, err := s.path(id, journalSuffix)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening journal: %w", err)
+	}
+	return &Journal{f: f, id: id, hook: hook}, nil
+}
+
+// Append durably appends one record: marshal, single write, fsync. After
+// a simulated crash (the fault hook returned faultinject.ErrCrash) the
+// journal is dead — the on-disk state is frozen as the dying process
+// left it, and every subsequent Append returns the crash error without
+// touching the file.
+func (j *Journal) Append(rec JournalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("persist: encoding journal record: %w", err)
+	}
+	line = append(line, '\n')
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dead != nil {
+		return j.dead
+	}
+	if err := j.fire(faultinject.OpJournalBefore, rec); err != nil {
+		return err
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("persist: appending journal record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing journal: %w", err)
+	}
+	if err := j.fire(faultinject.OpJournalAfter, rec); err != nil {
+		return err
+	}
+	return nil
+}
+
+// fire consults the fault hook at one journal point, latching a
+// simulated crash. Callers hold j.mu.
+func (j *Journal) fire(op string, rec JournalRecord) error {
+	if j.hook == nil {
+		return nil
+	}
+	stage := rec.Type
+	if rec.Type == RecTask && rec.Stage != "" {
+		// Task records expose the pipeline stage, the coordinate chaos
+		// suites target crashes by; submit and fail records keep the
+		// record type.
+		stage = rec.Stage
+	}
+	err := j.hook(faultinject.Point{Op: op, Stage: stage, Shard: rec.Shard, JobID: j.id})
+	if errors.Is(err, faultinject.ErrCrash) {
+		j.dead = err
+	}
+	return err
+}
+
+// Close releases the journal's file handle. The file stays on disk;
+// RemoveJournal deletes it.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// ReadJournal decodes job id's journal. A torn trailing line (no
+// terminating newline — a crash mid-append) is dropped silently; any
+// complete line that fails to decode, or a non-empty journal whose first
+// record is not a valid submit record, returns ErrCorruptJournal so the
+// caller can quarantine the file. A journal with no durable records at
+// all returns (nil, nil): that is a process that died before its first
+// fsync — the job never durably existed — not corruption.
+func (s *JobStore) ReadJournal(id string) ([]JournalRecord, error) {
+	path, err := s.path(id, journalSuffix)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading journal: %w", err)
+	}
+	// Only newline-terminated lines are durable records; a trailing
+	// fragment is the torn write of a dying process, not corruption.
+	if i := bytes.LastIndexByte(data, '\n'); i < 0 {
+		data = nil
+	} else {
+		data = data[:i+1]
+	}
+	var recs []JournalRecord
+	for lineNo, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec JournalRecord
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("%w: %s line %d: %v", ErrCorruptJournal, id, lineNo+1, err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	if recs[0].Type != RecSubmit || len(recs[0].Request) == 0 {
+		return nil, fmt.Errorf("%w: %s does not start with a submit record", ErrCorruptJournal, id)
+	}
+	return recs, nil
+}
+
+// ListJournals returns the sorted IDs of every job with a journal on
+// disk — the in-flight jobs a previous process left behind.
+func (s *JobStore) ListJournals() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, journalSuffix) {
+			continue
+		}
+		id := strings.TrimSuffix(name, journalSuffix)
+		if ValidJobID(id) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// QuarantineJournal renames job id's journal to its .corrupt name so a
+// damaged file stops being replayed on every startup but stays available
+// for inspection. It returns the quarantine path.
+func (s *JobStore) QuarantineJournal(id string) (string, error) {
+	path, err := s.path(id, journalSuffix)
+	if err != nil {
+		return "", err
+	}
+	dst, err := s.path(id, corruptSuffix)
+	if err != nil {
+		return "", err
+	}
+	if err := os.Rename(path, dst); err != nil {
+		return "", fmt.Errorf("persist: quarantining journal: %w", err)
+	}
+	return dst, nil
+}
+
+// RemoveJournal deletes job id's journal; a missing file is not an error.
+func (s *JobStore) RemoveJournal(id string) error {
+	path, err := s.path(id, journalSuffix)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// HasJournal reports whether a journal exists for job id.
+func (s *JobStore) HasJournal(id string) bool {
+	path, err := s.path(id, journalSuffix)
+	if err != nil {
+		return false
+	}
+	_, err = os.Stat(path)
+	return err == nil
+}

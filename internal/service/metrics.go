@@ -26,6 +26,13 @@ type Metrics struct {
 	ShardTasksExecuted int64
 	// JobsEvicted counts terminal jobs removed by the TTL janitor.
 	JobsEvicted int64
+	// TaskRetries counts transient task failures re-executed via the
+	// backoff ladder, by stage name.
+	TaskRetries map[string]int64
+	// JobsRecovered counts jobs resumed from crash journals at startup;
+	// JobsRejected counts submissions turned away by the queue bound.
+	JobsRecovered int64
+	JobsRejected  int64
 	// ObservationsSkipped counts budgeted permutations that adaptive
 	// (tolerance-driven) jobs never had to sample because their estimates
 	// converged early, summed over every finished adaptive job — the
@@ -69,6 +76,9 @@ func (m *Manager) Metrics() Metrics {
 		InflightTasks:         m.inflight,
 		TasksExecuted:         make(map[string]int64, len(m.tasksDone)),
 		JobsEvicted:           m.jobsEvicted,
+		TaskRetries:           make(map[string]int64, len(m.taskRetries)),
+		JobsRecovered:         m.jobsRecovered,
+		JobsRejected:          m.jobsRejected,
 		ObservationsSkipped:   m.obsSkipped,
 		TaskLatency:           make(map[string]telemetry.HistogramSnapshot, len(m.taskHist)),
 		ValuationStageLatency: make(map[string]telemetry.HistogramSnapshot, len(m.valHist)),
@@ -89,6 +99,9 @@ func (m *Manager) Metrics() Metrics {
 	}
 	for stage, n := range m.tasksDone {
 		snap.TasksExecuted[stage] = n
+	}
+	for stage, n := range m.taskRetries {
+		snap.TaskRetries[stage] = n
 	}
 	snap.ShardTasksExecuted = m.tasksDone[taskObserve]
 	for _, id := range m.runOrder {

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -287,7 +288,7 @@ func (m *Manager) trainRun(ctx context.Context, e *runEntry, spec RunSpec) {
 func (m *Manager) train(ctx context.Context, spec RunSpec) (tr *comfedsv.TrainedRun, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			tr, err = nil, fmt.Errorf("service: run training panicked: %v", r)
+			tr, err = nil, fmt.Errorf("service: run training panicked: %v\n%s", r, debug.Stack())
 		}
 	}()
 	return m.cfg.Train(ctx, spec.Clients, spec.Test, spec.Options)

@@ -533,8 +533,11 @@ func TestRunPanicFailsRunNotProcess(t *testing.T) {
 		t.Fatal(err)
 	}
 	rs := waitRunTerminal(t, m, st.ID)
-	if rs.State != RunFailed || rs.Error != "service: run training panicked: poisoned spec" {
+	if rs.State != RunFailed || !strings.HasPrefix(rs.Error, "service: run training panicked: poisoned spec") {
 		t.Fatalf("panicking training: state %s error %q", rs.State, rs.Error)
+	}
+	if !strings.Contains(rs.Error, "goroutine") {
+		t.Fatalf("training panic error lacks a stack trace: %q", rs.Error)
 	}
 }
 

@@ -21,10 +21,12 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"comfedsv"
+	"comfedsv/internal/faultinject"
 	"comfedsv/internal/persist"
 	"comfedsv/internal/telemetry"
 )
@@ -68,6 +70,12 @@ type Status struct {
 	// non-fatal warning (the report computed but could not be persisted,
 	// so it will not survive a restart).
 	Error string `json:"error,omitempty"`
+
+	// Retries counts transient task failures this job recovered from via
+	// re-execution; LastError is the most recent such failure. A done job
+	// with nonzero Retries weathered real faults on the way.
+	Retries   int    `json:"retries,omitempty"`
+	LastError string `json:"last_error,omitempty"`
 
 	// Shards and ShardsDone describe the observation stage's task
 	// decomposition: how many shard tasks the scheduler fans this job's
@@ -174,6 +182,34 @@ type Config struct {
 	// affects scheduling or reports.
 	Logger *slog.Logger
 
+	// MaxTaskRetries is how many times a transiently failed stage task
+	// (one whose error chain exposes Transient() true, or a task
+	// timeout) is re-executed before the failure becomes fatal to its
+	// job. 0 disables retries. Re-execution is safe because every stage
+	// is a deterministic function of the job's request: a retried shard
+	// re-derives exactly the observations the failed attempt would have.
+	MaxTaskRetries int
+	// RetryBaseDelay is the first retry's backoff; attempt k waits
+	// base<<k plus a jitter seeded from the task's identity, so the
+	// schedule is deterministic for the chaos suites while retries of
+	// unrelated tasks still spread out. 0 means 50ms.
+	RetryBaseDelay time.Duration
+	// TaskTimeout, if positive, bounds each stage-task execution; an
+	// expired task fails transiently and enters the retry ladder.
+	TaskTimeout time.Duration
+	// JobTimeout, if positive, bounds a job's running time (started→
+	// finished); expiry fails the job fatally with ErrJobDeadline.
+	JobTimeout time.Duration
+	// Clock substitutes the scheduler's time source for retry backoff
+	// and deadlines. Nil means the real clock. Chaos suites inject
+	// faultinject.ManualClock to test backoff and deadlines instantly.
+	Clock Clock
+	// FaultHook, if non-nil, is consulted at every task execution and
+	// journal append — the deterministic fault-injection seam. Faults it
+	// returns become task failures (or panics, or simulated crashes);
+	// nil, the production setting, costs nothing.
+	FaultHook faultinject.Hook
+
 	// buildValuation, if non-nil, replaces the whole staged pipeline —
 	// in-package tests use it to script task graphs with controlled
 	// timing. It must be cheap and infallible; the returned valuation's
@@ -220,6 +256,25 @@ type job struct {
 	val        stagedValuation
 	persistErr error
 
+	// Crash-safety state. journal is the job's append-only task journal
+	// (nil without a Store); sealJ hands it off to sealJournal exactly
+	// once at the terminal transition. recovered marks a job rebuilt
+	// from a journal; wantDigests holds the journaled observation-shard
+	// content hashes a recovered job verifies its re-executed shards
+	// against. pendingRetries counts transiently failed tasks sleeping
+	// out their backoff; retries/lastErr feed the status fields.
+	// userCancelled distinguishes an explicit Cancel (journal removed —
+	// a restart must not resurrect the job) from a shutdown cancellation
+	// (journal kept — a restart resumes the job).
+	journal        *persist.Journal
+	sealJ          *persist.Journal
+	recovered      bool
+	userCancelled  bool
+	wantDigests    map[int]string
+	pendingRetries int
+	retries        int
+	lastErr        string
+
 	shardsTotal int
 	shardsDone  int
 	shardsLeft  int
@@ -237,8 +292,11 @@ type task struct {
 	j     *job
 	stage string
 	shard int // observation shard index; -1 for non-shard stages
-	run   func(ctx context.Context) error
-	done  func()
+	// attempt counts prior executions of this task; the retry ladder
+	// re-enqueues the same task with attempt incremented.
+	attempt int
+	run     func(ctx context.Context) error
+	done    func()
 }
 
 // Task stage names, used by the metrics counters and the fairness tests.
@@ -277,6 +335,17 @@ type Manager struct {
 	obsSkipped  int64 // budgeted-but-unsampled permutations of done adaptive jobs
 	janitorStop chan struct{}
 
+	// Fault-tolerance state. pendingRetries counts tasks sleeping out a
+	// retry backoff across all jobs — workers must not exit while one is
+	// pending. taskRetries counts retries by stage; jobsRecovered counts
+	// jobs resumed from journals at startup; jobsRejected counts
+	// submissions turned away by the queue bound.
+	pendingRetries int
+	taskRetries    map[string]int64
+	jobsRecovered  int64
+	jobsRejected   int64
+	clock          Clock
+
 	// Latency telemetry. taskHist holds per-stage task-execution
 	// histograms (map writes guarded by mu; the histograms themselves are
 	// atomic). valHist holds per-pipeline-stage histograms fed by the
@@ -312,11 +381,19 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.Train == nil {
 		cfg.Train = comfedsv.TrainCtx
 	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
+	}
 	m := &Manager{
 		cfg:         cfg,
+		clock:       cfg.Clock,
 		jobs:        make(map[string]*job),
 		runs:        make(map[string]*runEntry),
 		tasksDone:   make(map[string]int64),
+		taskRetries: make(map[string]int64),
 		janitorStop: make(chan struct{}),
 		taskHist:    make(map[string]*telemetry.Histogram, 4),
 		valHist:     make(map[string]*telemetry.Histogram, 5),
@@ -364,6 +441,12 @@ func NewManager(cfg Config) (*Manager, error) {
 			}
 			m.jobs[id] = j
 			m.order = append(m.order, id)
+		}
+		// Replay the journals of jobs a previous process left in flight —
+		// before the worker pool starts, so recovery needs no locking and
+		// recovered jobs are queued ahead of fresh submissions.
+		if err := m.recoverJournals(); err != nil {
+			return nil, err
 		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -419,28 +502,7 @@ func (m *Manager) Submit(req Request) (string, error) {
 	if m.cfg.DefaultTolerance > 0 && opts.Tolerance == 0 && opts.MaxPermutations == 0 && opts.MonteCarloSamples > 0 {
 		opts.Tolerance = m.cfg.DefaultTolerance
 	}
-	prev := opts.OnProgress
-	opts.OnProgress = func(p comfedsv.Progress) {
-		m.mu.Lock()
-		j.progress = p
-		m.mu.Unlock()
-		if prev != nil {
-			prev(p)
-		}
-	}
-	prevTime := opts.OnStageTime
-	opts.OnStageTime = func(st comfedsv.StageTiming) {
-		// valHist's keys are fixed at construction, so this lookup is
-		// lock-free; unknown stages are dropped rather than racing a map
-		// write on the hot path.
-		if h, ok := m.valHist[st.Stage]; ok {
-			h.ObserveDuration(st.Duration)
-		}
-		if prevTime != nil {
-			prevTime(st)
-		}
-	}
-	j.opts = opts
+	j.opts = m.instrumentOptions(j, opts)
 
 	m.mu.Lock()
 	if m.closed {
@@ -449,6 +511,7 @@ func (m *Manager) Submit(req Request) (string, error) {
 		return "", ErrShutdown
 	}
 	if m.queued >= m.cfg.QueueDepth {
+		m.jobsRejected++
 		m.mu.Unlock()
 		cancel()
 		return "", ErrQueueFull
@@ -471,8 +534,36 @@ func (m *Manager) Submit(req Request) (string, error) {
 	m.queued++
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
-	m.enqueueLocked(j, m.prepareTask(j))
 	m.mu.Unlock()
+
+	// The submit record must be durable before the first task can run —
+	// a crash at any later point can then always re-derive the job. The
+	// fsync happens outside the lock; the job is visible (queued) but has
+	// no ready task until the journal is attached.
+	var crashErr error
+	if m.cfg.Store != nil {
+		crashErr = m.openSubmitJournal(j)
+	}
+
+	m.mu.Lock()
+	switch {
+	case crashErr != nil:
+		// Simulated process death during the submit append: the job dies
+		// the way the process would have, never having run a task.
+		if !j.state.Terminal() {
+			j.failed = crashErr
+			m.failLocked(j, crashErr)
+		}
+		m.mu.Unlock()
+		m.sealJournal(j)
+	case j.state.Terminal():
+		// Cancelled in the submit window; nothing to schedule.
+		m.mu.Unlock()
+		m.sealJournal(j)
+	default:
+		m.enqueueLocked(j, m.prepareTask(j))
+		m.mu.Unlock()
+	}
 	m.logJob("job submitted", j, "shards_requested", opts.Shards, "parallelism", opts.Parallelism)
 	return j.id, nil
 }
@@ -576,24 +667,33 @@ func (m *Manager) Report(id string) (*comfedsv.Report, error) {
 // observe the cancellation. Cancelling a terminal job is a no-op.
 func (m *Manager) Cancel(id string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	if !ok {
+		m.mu.Unlock()
 		return ErrNotFound
 	}
+	seal := false
 	switch j.state {
 	case StateQueued:
+		j.userCancelled = true
 		m.drainLocked(j)
 		m.failLocked(j, ErrCancelled)
+		seal = true
 	case StateRunning:
+		j.userCancelled = true
 		j.cancel()
 		m.drainLocked(j)
 		if j.failed == nil {
 			j.failed = ErrCancelled
 		}
-		if j.inflight == 0 {
+		if j.inflight == 0 && j.pendingRetries == 0 {
 			m.failLocked(j, j.failed)
+			seal = true
 		}
+	}
+	m.mu.Unlock()
+	if seal {
+		m.sealJournal(j)
 	}
 	return nil
 }
@@ -727,7 +827,9 @@ func (m *Manager) worker() {
 		m.mu.Lock()
 		t := m.popTaskLocked()
 		for t == nil {
-			if (m.closed || m.aborted) && len(m.ring) == 0 && m.inflight == 0 {
+			// Pending retries count as outstanding work: their tasks
+			// re-enqueue after the backoff, so the pool must stay alive.
+			if (m.closed || m.aborted) && len(m.ring) == 0 && m.inflight == 0 && m.pendingRetries == 0 {
 				m.mu.Unlock()
 				return
 			}
@@ -742,6 +844,10 @@ func (m *Manager) worker() {
 			wait := t.j.started.Sub(t.j.submitted)
 			m.waitHist.ObserveDuration(wait)
 			m.logJob("job started", t.j, "queue_wait_ms", wait.Milliseconds())
+			if m.cfg.JobTimeout > 0 {
+				m.wg.Add(1)
+				go m.jobWatchdog(t.j)
+			}
 		}
 		start := time.Now()
 		err := m.execute(t)
@@ -750,28 +856,63 @@ func (m *Manager) worker() {
 }
 
 // execute runs one stage task, converting a panic in the pipeline (or in a
-// substituted Config.Value / Config.ValueRun) into a task failure: one
-// poisoned job must not take down the daemon and every other job with it.
+// substituted Config.Value / Config.ValueRun) into a task failure with the
+// goroutine stack in the job error: one poisoned job must not take down
+// the daemon and every other job with it. The fault hook is consulted
+// first — its faults become task failures, panics, or simulated crashes —
+// and a positive Config.TaskTimeout bounds the execution, an expiry
+// failing the task transiently so the retry ladder gets another shot.
 func (m *Manager) execute(t *task) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("service: job panicked: %v", r)
+			err = fmt.Errorf("service: job panicked: %v\n%s", r, debug.Stack())
 		}
 	}()
 	if err := t.j.ctx.Err(); err != nil {
 		return err
 	}
-	return t.run(t.j.ctx)
+	if hook := m.cfg.FaultHook; hook != nil {
+		ferr := hook(faultinject.Point{Op: faultinject.OpTask, Stage: t.stage, Shard: t.shard, Attempt: t.attempt, JobID: t.j.id})
+		if ferr != nil {
+			var pe *faultinject.PanicError
+			if errors.As(ferr, &pe) {
+				panic(pe.Msg)
+			}
+			return ferr
+		}
+	}
+
+	ctx := t.j.ctx
+	if d := m.cfg.TaskTimeout; d > 0 {
+		tctx, cancel := context.WithCancelCause(ctx)
+		finished := make(chan struct{})
+		defer close(finished)
+		defer cancel(nil)
+		go func() {
+			select {
+			case <-m.clock.After(d):
+				cancel(ErrTaskTimeout)
+			case <-finished:
+			}
+		}()
+		ctx = tctx
+	}
+	err = t.run(ctx)
+	if err != nil && errors.Is(context.Cause(ctx), ErrTaskTimeout) && t.j.ctx.Err() == nil {
+		err = MarkTransient(fmt.Errorf("%w: %s task exceeded %v", ErrTaskTimeout, t.stage, m.cfg.TaskTimeout))
+	}
+	return err
 }
 
-// taskDone retires an executed task: on failure it cancels the job and
-// drains its remaining tasks; the job finalizes once its last in-flight
-// task returns. On success the task's done hook advances the stage graph.
-// dur is the task's wall-clock execution time, recorded into the stage's
-// latency histogram and the job's per-stage duration map.
+// taskDone retires an executed task. A transient failure within the
+// retry budget schedules a backoff re-execution instead of failing the
+// job; any other failure cancels the job and drains its remaining tasks,
+// and the job finalizes once its last in-flight task (and last pending
+// retry) returns. On success the task's done hook advances the stage
+// graph. dur is the task's wall-clock execution time, recorded into the
+// stage's latency histogram and the job's per-stage duration map.
 func (m *Manager) taskDone(t *task, err error, dur time.Duration) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j := t.j
 	j.inflight--
 	m.inflight--
@@ -781,35 +922,61 @@ func (m *Manager) taskDone(t *task, err error, dur time.Duration) {
 		j.stageNanos = make(map[string]int64, 4)
 	}
 	j.stageNanos[t.stage] += dur.Nanoseconds()
+
+	if err != nil && j.failed == nil && j.ctx.Err() == nil &&
+		IsTransient(err) && t.attempt < m.cfg.MaxTaskRetries {
+		// Transient failure with retry budget left: the task re-executes
+		// after a deterministic backoff. Re-execution is safe — every
+		// stage is a pure function of the job's request.
+		t.attempt++
+		j.retries++
+		j.lastErr = err.Error()
+		m.taskRetries[t.stage]++
+		j.pendingRetries++
+		m.pendingRetries++
+		delay := m.retryDelay(j, t.stage, t.shard, t.attempt)
+		m.wg.Add(1)
+		go m.retryAfter(t, delay)
+		m.logJob("task failed transiently", j,
+			"stage", t.stage, "shard", t.shard, "attempt", t.attempt,
+			"backoff_ms", delay.Milliseconds(), "error", err.Error())
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		return
+	}
+
 	if err != nil && j.failed == nil {
 		j.failed = err
 		j.cancel()
 		m.drainLocked(j)
 	}
 	if j.failed != nil {
-		if j.inflight == 0 && !j.state.Terminal() {
-			if j.report != nil {
-				// The extraction stage produced (and possibly persisted)
-				// the report before the cancellation was observed: the
-				// cancel lost the race, so complete the job — failing it
-				// here would strand a persisted report that a restart
-				// resurrects as a done job the caller was told failed.
-				m.completeJobLocked(j)
-			} else {
-				ferr := j.failed
-				if errors.Is(ferr, context.Canceled) {
-					ferr = ErrCancelled
-				}
-				m.failLocked(j, ferr)
-			}
+		seal := false
+		if j.inflight == 0 && j.pendingRetries == 0 && !j.state.Terminal() {
+			// If the extraction stage produced (and possibly persisted)
+			// the report before the failure was observed, the failure
+			// lost the race: complete the job — failing it here would
+			// strand a persisted report that a restart resurrects as a
+			// done job the caller was told failed.
+			m.finalizeFailedLocked(j)
+			seal = true
 		}
 		m.cond.Broadcast()
+		m.mu.Unlock()
+		if seal {
+			m.sealJournal(j)
+		}
 		return
 	}
 	if t.done != nil {
 		t.done()
 	}
+	seal := j.state.Terminal()
 	m.cond.Broadcast()
+	m.mu.Unlock()
+	if seal {
+		m.sealJournal(j)
+	}
 }
 
 // taskHistLocked returns the latency histogram for a stage, creating it
@@ -841,6 +1008,7 @@ func (m *Manager) failLocked(j *job, err error) {
 	j.req = Request{}
 	j.val = nil
 	j.ready = nil
+	j.sealJ, j.journal = j.journal, nil
 	m.releaseRunLocked(j)
 	m.logJob("job failed", j, "error", err.Error(), "duration_ms", j.finished.Sub(j.submitted).Milliseconds())
 }
@@ -854,6 +1022,7 @@ func (m *Manager) completeJobLocked(j *job) {
 	j.finished = time.Now()
 	j.req = Request{}
 	j.val = nil
+	j.sealJ, j.journal = j.journal, nil
 	m.releaseRunLocked(j)
 	dur := j.finished.Sub(j.submitted)
 	m.jobHist.ObserveDuration(dur)
@@ -887,19 +1056,22 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		m.mu.Lock()
 		m.aborted = true
+		var sealed []*job
 		for _, j := range m.jobs {
 			switch j.state {
 			case StateQueued:
 				m.drainLocked(j)
 				m.failLocked(j, ErrCancelled)
+				sealed = append(sealed, j)
 			case StateRunning:
 				j.cancel()
 				m.drainLocked(j)
 				if j.failed == nil {
 					j.failed = ErrCancelled
 				}
-				if j.inflight == 0 {
+				if j.inflight == 0 && j.pendingRetries == 0 {
 					m.failLocked(j, j.failed)
+					sealed = append(sealed, j)
 				}
 			}
 		}
@@ -910,6 +1082,11 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		}
 		m.cond.Broadcast()
 		m.mu.Unlock()
+		// Shutdown cancellations keep journals on disk — these jobs
+		// resume when the next process replays them.
+		for _, j := range sealed {
+			m.sealJournal(j)
+		}
 		<-done
 		return ctx.Err()
 	}
@@ -987,6 +1164,8 @@ func (j *job) snapshot() Status {
 	if j.err != nil {
 		s.Error = j.err.Error()
 	}
+	s.Retries = j.retries
+	s.LastError = j.lastErr
 	if j.cacheStats != nil {
 		cs := *j.cacheStats
 		s.CacheStats = &cs

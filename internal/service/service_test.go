@@ -7,6 +7,7 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -326,8 +327,11 @@ func TestManagerRecoversPanickingJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := waitTerminal(t, m, id)
-	if st.State != StateFailed || st.Error != "service: job panicked: poisoned job" {
+	if st.State != StateFailed || !strings.HasPrefix(st.Error, "service: job panicked: poisoned job") {
 		t.Fatalf("panicking job: state %s error %q", st.State, st.Error)
+	}
+	if !strings.Contains(st.Error, "goroutine") {
+		t.Fatalf("panic error lacks a stack trace: %q", st.Error)
 	}
 	// The worker survived: a healthy job still runs.
 	m2 := newManager(t, Config{Workers: 1})

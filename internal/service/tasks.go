@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"comfedsv"
+	"comfedsv/internal/persist"
 )
 
 // stagedValuation is the scheduler's view of one job's pipeline: the stage
@@ -25,6 +26,21 @@ type stagedValuation interface {
 	Stats() *comfedsv.EvalStats
 }
 
+// shardDigester is optionally implemented by pipelines whose observation
+// shards can hash their evaluated cells — the content token the journal
+// records and crash recovery verifies re-executed shards against.
+// Scripted test pipelines and legacy monolithic hooks simply lack it.
+type shardDigester interface {
+	ShardDigest(shard int) string
+}
+
+// traceCarrier is optionally implemented by pipelines that can expose
+// their trained run after Prepare, letting the scheduler persist an
+// inline job's trace so crash recovery resumes without retraining.
+type traceCarrier interface {
+	TrainedRun() *comfedsv.TrainedRun
+}
+
 // newValuation picks the staged pipeline for a submission: the real
 // comfedsv Valuation (inline or run-backed), a legacy monolithic hook, or
 // the test script. It is cheap — all heavy work happens inside the
@@ -41,6 +57,16 @@ func (m *Manager) newValuation(j *job) stagedValuation {
 			}}
 		}
 		return &pipelineValuation{build: func(ctx context.Context) (*comfedsv.Valuation, bool, error) {
+			// A recovered job resumes from its persisted trace when the
+			// crash happened after the prepare checkpoint; otherwise it
+			// retrains, which — training being a seeded deterministic
+			// function of the journaled request — rebuilds the identical
+			// trace.
+			if j.recovered && m.cfg.Store != nil {
+				if run, lerr := m.cfg.Store.LoadJobRun(j.id); lerr == nil {
+					return comfedsv.NewValuation(comfedsv.NewTrainedRun(run), j.opts), false, nil
+				}
+			}
 			tr, err := comfedsv.TrainCtx(ctx, j.req.Clients, j.req.Test, j.opts)
 			if err != nil {
 				return nil, false, err
@@ -128,6 +154,10 @@ func (p *pipelineValuation) Stats() *comfedsv.EvalStats {
 	return &s
 }
 
+func (p *pipelineValuation) ShardDigest(shard int) string { return p.v.ShardDigest(shard) }
+
+func (p *pipelineValuation) TrainedRun() *comfedsv.TrainedRun { return p.v.TrainedRun() }
+
 // monoValuation runs a whole legacy Config.Value / Config.ValueRun hook as
 // a single observation task, so substituted pipelines keep working on the
 // staged scheduler: a one-shard graph whose observe stage is the entire
@@ -156,7 +186,9 @@ func (mv *monoValuation) Extract(context.Context) (*comfedsv.Report, error) { re
 func (mv *monoValuation) Stats() *comfedsv.EvalStats { return mv.stats }
 
 // prepareTask is a job's first stage: build the pipeline (training inline
-// jobs, resolving shared runs) and plan the observation shards. Its done
+// jobs, resolving shared runs) and plan the observation shards. Before the
+// journal checkpoint it persists an inline job's trace, so a crash after
+// this point resumes by loading the trace instead of retraining. Its done
 // hook fans the shard tasks out.
 func (m *Manager) prepareTask(j *job) *task {
 	return &task{
@@ -167,6 +199,18 @@ func (m *Manager) prepareTask(j *job) *task {
 			shards, err := j.val.Prepare(ctx)
 			if err != nil {
 				return err
+			}
+			if j.journal != nil && j.runID == "" {
+				if tc, ok := j.val.(traceCarrier); ok {
+					// Best-effort: an unsaved trace only costs a recovery
+					// a deterministic retraining, never correctness.
+					if serr := m.cfg.Store.SaveJobRun(j.id, tc.TrainedRun().Run()); serr != nil {
+						m.logJob("trace persist failed", j, "error", serr.Error())
+					}
+				}
+			}
+			if jerr := m.appendJournal(j, persist.JournalRecord{Type: persist.RecTask, Stage: taskPrepare, Shards: shards}); jerr != nil {
+				return jerr
 			}
 			m.mu.Lock()
 			j.shardsTotal = shards
@@ -184,15 +228,29 @@ func (m *Manager) prepareTask(j *job) *task {
 	}
 }
 
-// observeTask evaluates one observation shard. The last shard to finish
-// enqueues the merge+completion stage.
+// observeTask evaluates one observation shard, journals its content
+// digest, and — on a recovered job — verifies the re-executed shard
+// re-derived exactly the observations the journal recorded, turning any
+// determinism violation into a loud failure instead of a silently
+// different report. The last shard to finish enqueues the
+// merge+completion stage.
 func (m *Manager) observeTask(j *job, shard int) *task {
 	return &task{
 		j:     j,
 		stage: taskObserve,
 		shard: shard,
 		run: func(ctx context.Context) error {
-			return j.val.ObserveShard(ctx, shard)
+			if err := j.val.ObserveShard(ctx, shard); err != nil {
+				return err
+			}
+			var digest string
+			if d, ok := j.val.(shardDigester); ok {
+				digest = d.ShardDigest(shard)
+			}
+			if want, ok := j.wantDigests[shard]; ok && digest != "" && digest != want {
+				return fmt.Errorf("service: recovered shard %d re-derived digest %s but the journal recorded %s: determinism violation", shard, digest, want)
+			}
+			return m.appendJournal(j, persist.JournalRecord{Type: persist.RecTask, Stage: taskObserve, Shard: shard, Digest: digest})
 		},
 		done: func() {
 			j.shardsDone++
@@ -220,6 +278,9 @@ func (m *Manager) completeTask(j *job) *task {
 			n, err := j.val.Complete(ctx)
 			if err != nil {
 				return err
+			}
+			if jerr := m.appendJournal(j, persist.JournalRecord{Type: persist.RecTask, Stage: taskComplete, Shards: n}); jerr != nil {
+				return jerr
 			}
 			more = n
 			return nil
@@ -259,6 +320,19 @@ func (m *Manager) extractTask(j *job) *task {
 			if m.cfg.Store != nil {
 				if serr := m.cfg.Store.SaveJobReport(j.id, rep); serr != nil {
 					persistErr = fmt.Errorf("service: persisting report: %w", serr)
+				}
+			}
+			if persistErr == nil && j.journal != nil {
+				// The persisted report alone implies done on recovery, so
+				// the journal is spent: checkpoint for the record, then
+				// remove it. If the report could not be persisted the
+				// journal stays — a restart recomputes the report a
+				// warning said would not survive.
+				if jerr := m.appendJournal(j, persist.JournalRecord{Type: persist.RecTask, Stage: taskShapley}); jerr != nil {
+					return jerr
+				}
+				if rerr := m.cfg.Store.RemoveJournal(j.id); rerr != nil {
+					m.logJob("journal remove failed", j, "error", rerr.Error())
 				}
 			}
 			m.mu.Lock()

@@ -221,6 +221,27 @@ func (v *Valuation) ObserveShard(ctx context.Context, shard int) error {
 	return nil
 }
 
+// TrainedRun returns the run this valuation values against — the handle
+// the comfedsvd scheduler uses to persist an inline job's trace so crash
+// recovery can resume without retraining.
+func (v *Valuation) TrainedRun() *TrainedRun { return v.tr }
+
+// ShardDigest returns the content hash of an observed shard's evaluated
+// cells — the token the comfedsvd journal records so crash recovery can
+// verify a re-executed shard re-derived identical observations. Exact
+// pipelines (no permutation structure to shard) and unobserved shards
+// return "".
+func (v *Valuation) ShardDigest(shard int) string {
+	switch {
+	case v.adaptive != nil:
+		return v.adaptive.ShardDigest(shard)
+	case v.mcPlan != nil:
+		return v.mcPlan.ShardDigest(shard)
+	default:
+		return ""
+	}
+}
+
 // Complete merges the shard observations in deterministic serial order and
 // solves the matrix-completion problem. In adaptive mode it is the wave
 // checkpoint: it returns the number of additional observation shards the
