@@ -1,0 +1,303 @@
+// Command comfedsv-worker is the remote half of distributed observation:
+// a work-pull daemon that registers with a comfedsvd coordinator, long-polls
+// POST /v1/worker/lease for observation-shard leases, evaluates each leased
+// permutation slice against the training trace hydrated from the shared run
+// store, and reports the observed utility cells back with their content
+// digest. The coordinator verifies every digest before merging, so adding
+// workers (or losing one mid-shard — its lease expires and the shard is
+// re-leased) never changes a byte of any report.
+//
+// The worker needs exactly two things from the deployment: the
+// coordinator's base URL and the same -runs-dir the coordinator persists
+// shared training runs into (a shared filesystem or a synchronized copy).
+// Jobs whose runs the worker cannot load are failed back to the
+// coordinator, which falls back to local execution via its retry ladder.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+
+	"comfedsv"
+	"comfedsv/internal/dispatch"
+	"comfedsv/internal/persist"
+)
+
+func main() {
+	var (
+		coordURL = flag.String("coordinator", "http://localhost:8080", "base URL of the comfedsvd coordinator")
+		runsDir  = flag.String("runs-dir", "", "directory of the shared run store (must hold the same runs the coordinator persists)")
+		workerID = flag.String("id", "", "worker identity reported to the coordinator (default host-pid)")
+		par      = flag.Int("parallelism", 0, "CPU parallelism for slice evaluation (0 = GOMAXPROCS)")
+		poll     = flag.Duration("poll", 30*time.Second, "long-poll window per lease request")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of logfmt-style text")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	)
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "comfedsv-worker: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, hopts)
+	}
+	logger := slog.New(handler)
+
+	if *runsDir == "" {
+		fmt.Fprintln(os.Stderr, "comfedsv-worker: -runs-dir is required (the shared run store the coordinator persists training traces into)")
+		os.Exit(2)
+	}
+	runs, err := persist.NewRunStore(*runsDir)
+	if err != nil {
+		logger.Error("opening run store", "error", err)
+		os.Exit(2)
+	}
+
+	id := *workerID
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	parallelism := *par
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w := &worker{
+		client:      dispatch.NewClient(*coordURL, id),
+		runs:        runs,
+		parallelism: parallelism,
+		poll:        *poll,
+		log:         logger.With("worker", id),
+		observers:   make(map[observerKey]*comfedsv.ShardObserver),
+	}
+	if err := w.run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		w.log.Error("worker exited", "error", err)
+		os.Exit(1)
+	}
+	w.log.Info("bye")
+}
+
+// observerKey identifies one rebuildable observation plan. Two leases of
+// the same job share a plan; a re-submitted job with the same (run,
+// budget, seed) does too, by construction of the plan as a pure function
+// of its key.
+type observerKey struct {
+	runID  string
+	budget int
+	seed   int64
+}
+
+// maxCachedObservers bounds the worker's plan cache. Plans hold the
+// trained run's evaluator (weights + test set), so an unbounded cache
+// on a long-lived worker is a slow leak; eviction only costs a rebuild.
+const maxCachedObservers = 4
+
+type worker struct {
+	client      *dispatch.Client
+	runs        *persist.RunStore
+	parallelism int
+	poll        time.Duration
+	log         *slog.Logger
+
+	mu        sync.Mutex
+	observers map[observerKey]*comfedsv.ShardObserver
+}
+
+// run is the daemon loop: register (retrying until the coordinator is
+// reachable), heartbeat in the background, and pull leases until the
+// context dies. A graceful exit deregisters so the coordinator re-leases
+// immediately instead of waiting out the liveness window.
+func (w *worker) run(ctx context.Context) error {
+	reg, err := w.register(ctx)
+	if err != nil {
+		return err
+	}
+	w.log.Info("registered",
+		"lease_ttl_seconds", reg.LeaseTTLSeconds,
+		"worker_ttl_seconds", reg.WorkerTTLSeconds,
+	)
+
+	// Heartbeat at a third of the liveness window so one dropped request
+	// doesn't kill the registration. Heartbeats re-register idempotently,
+	// healing the worker after a coordinator restart.
+	hbInterval := time.Duration(reg.WorkerTTLSeconds * float64(time.Second) / 3)
+	if hbInterval < time.Second {
+		hbInterval = time.Second
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(hbInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				if err := w.client.Heartbeat(hbCtx); err != nil && hbCtx.Err() == nil {
+					w.log.Warn("heartbeat", "error", err)
+				}
+			}
+		}
+	}()
+	defer func() {
+		stopHB()
+		hbWG.Wait()
+		// The parent context is already dead here; give the goodbye its
+		// own short budget.
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := w.client.Deregister(dctx); err != nil {
+			w.log.Warn("deregister", "error", err)
+		}
+	}()
+
+	backoff := time.Second
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lease, err := w.client.Lease(ctx, w.poll)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.log.Warn("lease poll", "error", err, "backoff", backoff)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > 30*time.Second {
+				backoff = 30 * time.Second
+			}
+			continue
+		}
+		backoff = time.Second
+		if lease == nil {
+			continue // poll window elapsed with no work
+		}
+		w.serve(ctx, lease)
+	}
+}
+
+// register announces the worker, retrying with capped backoff until the
+// coordinator answers — workers routinely start before the daemon.
+func (w *worker) register(ctx context.Context) (*dispatch.RegisterResponse, error) {
+	backoff := time.Second
+	for {
+		reg, err := w.client.Register(ctx)
+		if err == nil {
+			return reg, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		w.log.Warn("register", "error", err, "backoff", backoff)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 30*time.Second {
+			backoff = 30 * time.Second
+		}
+	}
+}
+
+// serve evaluates one lease and reports the outcome. Evaluation errors
+// are failed back to the coordinator (which re-leases or falls back to
+// local execution); report errors are logged and abandoned — the lease
+// deadline re-leases the shard regardless.
+func (w *worker) serve(ctx context.Context, lease *dispatch.Lease) {
+	t := lease.Task
+	log := w.log.With("lease", lease.ID, "job", t.JobID, "run", t.RunID,
+		"shard", t.Shard, "lo", t.Lo, "hi", t.Hi)
+	log.Info("lease granted")
+	start := time.Now()
+	obs, err := w.observe(ctx, t)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Shutdown mid-shard: the deferred deregister revokes the
+			// lease, so the coordinator re-leases without waiting out
+			// the deadline. Don't report a spurious failure.
+			return
+		}
+		log.Warn("shard evaluation failed", "error", err)
+		if ferr := w.client.Fail(ctx, lease.ID, err.Error()); ferr != nil {
+			log.Warn("reporting failure", "error", ferr)
+		}
+		return
+	}
+	if err := w.client.Complete(ctx, lease.ID, obs); err != nil {
+		log.Warn("reporting shard", "error", err)
+		return
+	}
+	log.Info("shard completed", "cells", len(obs.Cells), "digest", obs.Digest,
+		"elapsed", time.Since(start).Round(time.Millisecond))
+}
+
+// observe evaluates the leased permutation slice, rebuilding (and
+// caching) the job's observation plan from the shared run store.
+func (w *worker) observe(ctx context.Context, t dispatch.Task) (*comfedsv.ShardObservations, error) {
+	so, err := w.observer(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	return so.ObserveSlice(ctx, t.Lo, t.Hi)
+}
+
+func (w *worker) observer(ctx context.Context, t dispatch.Task) (*comfedsv.ShardObserver, error) {
+	key := observerKey{runID: t.RunID, budget: t.Budget, seed: t.Seed}
+	w.mu.Lock()
+	so, ok := w.observers[key]
+	w.mu.Unlock()
+	if ok {
+		return so, nil
+	}
+	run, err := w.runs.LoadRun(t.RunID)
+	if err != nil {
+		return nil, fmt.Errorf("hydrating run %s: %w", t.RunID, err)
+	}
+	so, err = comfedsv.NewShardObserver(ctx, comfedsv.NewTrainedRun(run), t.Budget, t.Seed, w.parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding observation plan for run %s: %w", t.RunID, err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if cached, ok := w.observers[key]; ok {
+		return cached, nil
+	}
+	if len(w.observers) >= maxCachedObservers {
+		for k := range w.observers {
+			delete(w.observers, k)
+			break
+		}
+	}
+	w.observers[key] = so
+	return so, nil
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"comfedsv/internal/api"
+	"comfedsv/internal/dispatch"
 	"comfedsv/internal/persist"
 	"comfedsv/internal/service"
 )
@@ -51,7 +52,10 @@ func main() {
 		taskTO    = flag.Duration("task-timeout", 0, "per-task execution deadline; a timed-out task is retried as transient (0 = none)")
 		jobTO     = flag.Duration("job-timeout", 0, "whole-job wall-clock deadline from start to finish (0 = none)")
 		timeout   = flag.Duration("drain", 30*time.Second, "max time to drain running jobs on shutdown")
-		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled); keep it off any public interface")
+		dispatchOn = flag.Bool("dispatch", false, "lease observation shards to remote comfedsv-worker daemons over /v1/worker (requires -runs-dir shared with the workers); local execution remains the fallback whenever no worker is live")
+		leaseTTL   = flag.Duration("lease-ttl", 2*time.Minute, "revoke and re-lease a shard lease not completed within this window (with -dispatch)")
+		workerTTL  = flag.Duration("worker-ttl", 30*time.Second, "consider a worker dead after this long without a heartbeat or poll (with -dispatch)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled); keep it off any public interface")
 		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of logfmt-style text")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (per-request access logs are debug)")
 	)
@@ -105,12 +109,28 @@ func main() {
 		}
 		cfg.RunStore = runStore
 	}
+	var coord *dispatch.Coordinator
+	if *dispatchOn {
+		if cfg.RunStore == nil {
+			fmt.Fprintln(os.Stderr, "comfedsvd: -dispatch requires -runs-dir (workers hydrate training traces from the shared run store)")
+			os.Exit(2)
+		}
+		coord = dispatch.NewCoordinator(dispatch.Config{
+			LeaseTTL:  *leaseTTL,
+			WorkerTTL: *workerTTL,
+			Logger:    logger.With("component", "dispatch"),
+		})
+		cfg.Dispatcher = coord
+	}
 	mgr, err := service.NewManager(cfg)
 	if err != nil {
 		fatal("starting manager", err)
 	}
 
 	apiSrv := api.NewServer(mgr)
+	if coord != nil {
+		apiSrv.SetDispatcher(coord)
+	}
 	// Access logs are chatty under load, so they go out at debug level;
 	// lifecycle events (submit/start/done/failed) stay at info.
 	apiSrv.SetLogger(slog.New(handler).With("component", "http"))
@@ -170,6 +190,7 @@ func main() {
 		"store", *storeDir,
 		"runs_dir", *runsDir,
 		"job_ttl", *jobTTL,
+		"dispatch", *dispatchOn,
 	)
 
 	select {
@@ -180,6 +201,13 @@ func main() {
 	stop() // restore default signal handling: a second ^C kills immediately
 
 	logger.Info("shutting down", "drain", *timeout)
+	if coord != nil {
+		// Close the coordinator first: long-polling workers get an
+		// immediate ErrClosed instead of pinning connections through the
+		// HTTP drain window, and in-flight remote shards fail over to the
+		// local fallback or drain with the manager below.
+		coord.Close()
+	}
 	// Separate budgets: a stalled HTTP client must not eat into the time
 	// promised to running jobs by -drain.
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 10*time.Second)

@@ -29,12 +29,15 @@ import (
 	"io"
 	"log/slog"
 	"math"
+	"math/rand/v2"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"comfedsv"
+	"comfedsv/internal/dispatch"
 	"comfedsv/internal/service"
 	"comfedsv/internal/telemetry"
 )
@@ -45,9 +48,10 @@ const maxRequestBytes = 256 << 20
 
 // Server routes HTTP traffic onto a service.Manager.
 type Server struct {
-	mgr     *service.Manager
-	started time.Time
-	log     *slog.Logger
+	mgr      *service.Manager
+	started  time.Time
+	log      *slog.Logger
+	dispatch *dispatch.Coordinator
 }
 
 // NewServer wraps a manager.
@@ -77,6 +81,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.deleteRun)
 	mux.HandleFunc("GET /v1/healthz", s.healthz)
 	mux.HandleFunc("GET /v1/metrics", s.metrics)
+	s.workerRoutes(mux)
 	if s.log == nil {
 		return mux
 	}
@@ -325,8 +330,13 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, service.ErrQueueFull):
 		// Backpressure, not unavailability: the daemon is healthy, the
 		// queue is momentarily full. 429 + Retry-After tells well-behaved
-		// clients to back off and resubmit.
-		w.Header().Set("Retry-After", "1")
+		// clients to back off and resubmit. The hint scales with queue
+		// pressure; per-request jitter (up to +50%) spreads the herd so a
+		// saturated deployment's rejected clients don't all come back in
+		// the same second. Header randomness never feeds a report.
+		retry := s.mgr.SubmitRetryAfter()
+		retry += time.Duration(rand.Int64N(int64(retry)/2 + 1))
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, service.ErrShutdown):
@@ -568,6 +578,8 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	m.JobDuration.WritePrometheus(&b, "comfedsvd_job_duration_seconds", "")
 	b.WriteString("# HELP comfedsvd_job_queue_wait_seconds Submit-to-start queue wait of started jobs.\n# TYPE comfedsvd_job_queue_wait_seconds histogram\n")
 	m.JobQueueWait.WritePrometheus(&b, "comfedsvd_job_queue_wait_seconds", "")
+
+	s.writeDispatchMetrics(&b)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

@@ -1,0 +1,320 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"comfedsv"
+	"comfedsv/internal/dispatch"
+	"comfedsv/internal/persist"
+	"comfedsv/internal/service"
+)
+
+// dispatchDaemon is comfedsvd with -dispatch: a Manager wired to a shard
+// coordinator behind the real route table, sharing a run store with the
+// workers.
+func dispatchDaemon(t *testing.T, runsDir string, coord *dispatch.Coordinator, cfg service.Config) *httptest.Server {
+	t.Helper()
+	runs, err := persist.NewRunStore(runsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.RunStore = runs
+	cfg.Dispatcher = coord
+	mgr, err := service.NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(mgr)
+	srv.SetDispatcher(coord)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		coord.Close()
+	})
+	return ts
+}
+
+// runWorker is cmd/comfedsv-worker's loop in-process: register, long-poll
+// for leases, hydrate the trace from the shared run store, evaluate the
+// leased permutation slice, and report the cells with their digest.
+func runWorker(ctx context.Context, t *testing.T, base, id, runsDir string) {
+	runs, err := persist.NewRunStore(runsDir)
+	if err != nil {
+		t.Errorf("worker %s: opening run store: %v", id, err)
+		return
+	}
+	cl := dispatch.NewClient(base, id)
+	if _, err := cl.Register(ctx); err != nil {
+		if ctx.Err() == nil {
+			t.Errorf("worker %s: register: %v", id, err)
+		}
+		return
+	}
+	observers := make(map[string]*comfedsv.ShardObserver)
+	for ctx.Err() == nil {
+		lease, err := cl.Lease(ctx, time.Second)
+		if err != nil || lease == nil {
+			continue
+		}
+		task := lease.Task
+		key := fmt.Sprintf("%s/%d/%d", task.RunID, task.Budget, task.Seed)
+		so := observers[key]
+		if so == nil {
+			run, err := runs.LoadRun(task.RunID)
+			if err != nil {
+				cl.Fail(ctx, lease.ID, err.Error())
+				continue
+			}
+			so, err = comfedsv.NewShardObserver(ctx, comfedsv.NewTrainedRun(run), task.Budget, task.Seed, 2)
+			if err != nil {
+				cl.Fail(ctx, lease.ID, err.Error())
+				continue
+			}
+			observers[key] = so
+		}
+		obs, err := so.ObserveSlice(ctx, task.Lo, task.Hi)
+		if err != nil {
+			cl.Fail(ctx, lease.ID, err.Error())
+			continue
+		}
+		if err := cl.Complete(ctx, lease.ID, obs); err != nil && ctx.Err() == nil {
+			t.Errorf("worker %s: complete: %v", id, err)
+		}
+	}
+}
+
+// registerRun posts the training payload as a shared run and waits for it
+// to become ready, returning its content-addressed ID.
+func registerRun(t *testing.T, base string, payload []byte) string {
+	t.Helper()
+	var created struct {
+		ID string `json:"id"`
+	}
+	if code := postJSON(t, base+"/v1/runs", payload, &created); code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("POST /v1/runs: %d", code)
+	}
+	waitRunReady(t, base, created.ID)
+	return created.ID
+}
+
+// mcJobBody is a run-backed Monte-Carlo submission with a sharded
+// observation stage — the only remotable job shape.
+func mcJobBody(t *testing.T, runID string, seed int64) []byte {
+	t.Helper()
+	raw, err := json.Marshal(map[string]any{
+		"run_id": runID,
+		"options": map[string]any{
+			"num_classes":         2,
+			"rounds":              4,
+			"clients_per_round":   2,
+			"seed":                seed,
+			"monte_carlo_samples": 30,
+			"shards":              3,
+			"parallelism":         2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestDistributedObservationByteIdenticalWithWorkerLoss is the acceptance
+// walkthrough of distributed observation: a run-backed Monte-Carlo job's
+// shards are leased over the real HTTP surface to two workers, one of
+// which is killed mid-shard (it takes a lease and goes silent); the lease
+// expires, the shard is re-leased through the retry ladder to the healthy
+// worker, every completion is digest-verified at the wire, and the final
+// report is byte-identical to the same job executed entirely locally.
+func TestDistributedObservationByteIdenticalWithWorkerLoss(t *testing.T) {
+	payload, _, _, _ := tinyJob(37)
+	const seed = 37
+
+	// Baseline: same run, same job, no dispatcher — all shards local.
+	localTS := testDaemon(t, service.Config{Workers: 2, RunStore: mustRunStore(t, t.TempDir())})
+	localRun := registerRun(t, localTS.URL, payload)
+	localID := submitAndWait(t, localTS.URL, mcJobBody(t, localRun, seed))
+	code, want := getBody(t, localTS.URL+"/v1/jobs/"+localID+"/report")
+	if code != http.StatusOK {
+		t.Fatalf("GET local report: %d", code)
+	}
+
+	// Distributed daemon: short lease TTL so the killed worker's shard
+	// re-leases quickly; quick retry ladder for the same reason.
+	runsDir := t.TempDir()
+	coord := dispatch.NewCoordinator(dispatch.Config{LeaseTTL: 400 * time.Millisecond, WorkerTTL: time.Hour})
+	ts := dispatchDaemon(t, runsDir, coord, service.Config{
+		Workers:        2,
+		MaxTaskRetries: 5,
+		RetryBaseDelay: 20 * time.Millisecond,
+	})
+	runID := registerRun(t, ts.URL, payload)
+	if runID != localRun {
+		t.Fatalf("content-addressed run IDs diverged: %s vs %s", runID, localRun)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// The doomed worker registers first, so the job's shards go remote,
+	// takes exactly one lease, and dies mid-shard without reporting.
+	doomed := dispatch.NewClient(ts.URL, "doomed")
+	if _, err := doomed.Register(ctx); err != nil {
+		t.Fatalf("doomed register: %v", err)
+	}
+
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/jobs", mcJobBody(t, runID, seed), &sub); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: %d", code)
+	}
+
+	var doomedLease *dispatch.Lease
+	deadline := time.Now().Add(30 * time.Second)
+	for doomedLease == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("doomed worker never got a lease — shards were not dispatched remotely")
+		}
+		l, err := doomed.Lease(ctx, 2*time.Second)
+		if err != nil {
+			t.Fatalf("doomed lease poll: %v", err)
+		}
+		doomedLease = l
+	}
+	// Killed mid-shard: no Complete, no Fail, no further polls. The lease
+	// deadline is now the only way the shard comes back.
+
+	// The healthy worker picks up the remaining shards and, once the
+	// doomed lease expires, the re-leased one.
+	go runWorker(ctx, t, ts.URL, "healthy", runsDir)
+
+	waitJobDone(t, ts.URL, sub.ID)
+	code, got := getBody(t, ts.URL+"/v1/jobs/"+sub.ID+"/report")
+	if code != http.StatusOK {
+		t.Fatalf("GET distributed report: %d", code)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("distributed report differs from all-local execution:\n%s\nvs\n%s", got, want)
+	}
+
+	st := coord.Stats()
+	if st.LeasesCompleted != 3 {
+		t.Fatalf("LeasesCompleted = %d, want 3 (one per shard)", st.LeasesCompleted)
+	}
+	if st.LeasesExpired == 0 {
+		t.Fatal("no lease expired — the worker-loss path never ran")
+	}
+	if st.DigestMismatches != 0 {
+		t.Fatalf("DigestMismatches = %d, want 0", st.DigestMismatches)
+	}
+
+	// The straggler's late completion is rejected at the HTTP layer with a
+	// 409 — its lease was revoked and the shard re-leased.
+	straggler := &comfedsv.ShardObservations{Lo: doomedLease.Task.Lo, Hi: doomedLease.Task.Hi}
+	straggler.Stamp()
+	err := doomed.Complete(ctx, doomedLease.ID, straggler)
+	if err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("straggler completion: %v, want 409 conflict", err)
+	}
+
+	// The dispatch metrics families are exported.
+	code, metrics := getBody(t, ts.URL+"/v1/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET metrics: %d", code)
+	}
+	for _, family := range []string{
+		"comfedsvd_dispatch_workers_live",
+		"comfedsvd_dispatch_leases_completed_total 3",
+		"comfedsvd_dispatch_leases_expired_total",
+		"comfedsvd_dispatch_digest_mismatches_total 0",
+	} {
+		if !strings.Contains(string(metrics), family) {
+			t.Errorf("metrics missing %q", family)
+		}
+	}
+}
+
+// TestDistributedObservationManyWorkersByteIdentical pins N-worker
+// determinism: the same job leased across three healthy workers reports
+// byte-identically to the all-local baseline.
+func TestDistributedObservationManyWorkersByteIdentical(t *testing.T) {
+	payload, _, _, _ := tinyJob(41)
+	const seed = 41
+
+	localTS := testDaemon(t, service.Config{Workers: 2, RunStore: mustRunStore(t, t.TempDir())})
+	localRun := registerRun(t, localTS.URL, payload)
+	localID := submitAndWait(t, localTS.URL, mcJobBody(t, localRun, seed))
+	code, want := getBody(t, localTS.URL+"/v1/jobs/"+localID+"/report")
+	if code != http.StatusOK {
+		t.Fatalf("GET local report: %d", code)
+	}
+
+	runsDir := t.TempDir()
+	coord := dispatch.NewCoordinator(dispatch.Config{WorkerTTL: time.Hour})
+	ts := dispatchDaemon(t, runsDir, coord, service.Config{Workers: 2})
+	runID := registerRun(t, ts.URL, payload)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		go runWorker(ctx, t, ts.URL, fmt.Sprintf("w%d", i), runsDir)
+	}
+	// Wait until at least one worker registered so the shards go remote
+	// rather than falling back to local execution.
+	deadline := time.Now().Add(10 * time.Second)
+	for !coord.HasLiveWorkers() {
+		if time.Now().After(deadline) {
+			t.Fatal("no worker registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	id := submitAndWait(t, ts.URL, mcJobBody(t, runID, seed))
+	code, got := getBody(t, ts.URL+"/v1/jobs/"+id+"/report")
+	if code != http.StatusOK {
+		t.Fatalf("GET distributed report: %d", code)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("3-worker report differs from all-local execution:\n%s\nvs\n%s", got, want)
+	}
+	if st := coord.Stats(); st.LeasesCompleted != 3 || st.DigestMismatches != 0 {
+		t.Fatalf("stats after clean distributed run: %+v", st)
+	}
+}
+
+func mustRunStore(t *testing.T, dir string) *persist.RunStore {
+	t.Helper()
+	rs, err := persist.NewRunStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func waitJobDone(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var st service.Status
+		if code := getJSON(t, base+"/v1/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("GET status: %d", code)
+		}
+		if st.State.Terminal() {
+			if st.State != service.StateDone {
+				t.Fatalf("job ended %s: %s", st.State, st.Error)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("distributed job did not finish in time")
+}

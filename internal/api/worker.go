@@ -1,0 +1,182 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"comfedsv/internal/dispatch"
+)
+
+// Worker endpoints — the coordinator half of the distributed observation
+// protocol. Registered only when a dispatcher is attached:
+//
+//	POST /v1/worker/register    announce a worker; returns lease/liveness windows
+//	POST /v1/worker/heartbeat   refresh a worker's liveness
+//	POST /v1/worker/deregister  graceful worker shutdown; revokes its leases
+//	POST /v1/worker/lease       long-poll for the next shard task (204 = no work)
+//	POST /v1/worker/complete    report a digest-verified shard result
+//	POST /v1/worker/fail        report a worker-side failure for a lease
+//
+// Error codes: 409 for an unknown or already-revoked lease (the shard was
+// re-leased; the result is discarded), 422 for a digest mismatch (a
+// determinism violation — loud, never retried), 503 when shutting down.
+
+// maxLeaseWait bounds one long-poll window server-side so abandoned
+// connections cannot pin handler goroutines past it.
+const maxLeaseWait = 2 * time.Minute
+
+// defaultLeaseWait applies when the worker does not ask for a window.
+const defaultLeaseWait = 30 * time.Second
+
+// SetDispatcher attaches the shard coordinator and enables the
+// /v1/worker endpoints plus the dispatch metrics families. Call before
+// Handler.
+func (s *Server) SetDispatcher(d *dispatch.Coordinator) { s.dispatch = d }
+
+func (s *Server) workerRoutes(mux *http.ServeMux) {
+	if s.dispatch == nil {
+		return
+	}
+	mux.HandleFunc("POST /v1/worker/register", s.workerRegister)
+	mux.HandleFunc("POST /v1/worker/heartbeat", s.workerRegister) // a heartbeat is an idempotent re-register
+	mux.HandleFunc("POST /v1/worker/deregister", s.workerDeregister)
+	mux.HandleFunc("POST /v1/worker/lease", s.workerLease)
+	mux.HandleFunc("POST /v1/worker/complete", s.workerComplete)
+	mux.HandleFunc("POST /v1/worker/fail", s.workerFail)
+}
+
+// decodeWorker decodes one worker-endpoint body strictly.
+func decodeWorker(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) workerRegister(w http.ResponseWriter, r *http.Request) {
+	var req dispatch.RegisterRequest
+	if !decodeWorker(w, r, &req) {
+		return
+	}
+	if err := s.dispatch.Register(req.WorkerID); err != nil {
+		if errors.Is(err, dispatch.ErrClosed) {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, dispatch.RegisterResponse{
+		LeaseTTLSeconds:  s.dispatch.LeaseTTL().Seconds(),
+		WorkerTTLSeconds: s.dispatch.WorkerTTL().Seconds(),
+	})
+}
+
+func (s *Server) workerDeregister(w http.ResponseWriter, r *http.Request) {
+	var req dispatch.RegisterRequest
+	if !decodeWorker(w, r, &req) {
+		return
+	}
+	s.dispatch.Deregister(req.WorkerID)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) workerLease(w http.ResponseWriter, r *http.Request) {
+	var req dispatch.LeaseRequest
+	if !decodeWorker(w, r, &req) {
+		return
+	}
+	wait := time.Duration(req.WaitSeconds * float64(time.Second))
+	if wait <= 0 {
+		wait = defaultLeaseWait
+	}
+	if wait > maxLeaseWait {
+		wait = maxLeaseWait
+	}
+	// The poll ends at the window, the client disconnecting, or shutdown —
+	// whichever comes first.
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	lease, err := s.dispatch.Lease(ctx, req.WorkerID)
+	switch {
+	case errors.Is(err, dispatch.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil && r.Context().Err() != nil:
+		// Client went away mid-poll; the response is moot.
+		writeError(w, http.StatusRequestTimeout, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	case lease == nil:
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeJSON(w, http.StatusOK, lease)
+	}
+}
+
+func (s *Server) workerComplete(w http.ResponseWriter, r *http.Request) {
+	var req dispatch.CompleteRequest
+	if !decodeWorker(w, r, &req) {
+		return
+	}
+	err := s.dispatch.Complete(req.LeaseID, req.Observations)
+	var mismatch *dispatch.DigestMismatchError
+	switch {
+	case errors.Is(err, dispatch.ErrUnknownLease):
+		// The lease was revoked (deadline, dead worker) and the shard
+		// re-leased; this straggler's work is discarded.
+		writeError(w, http.StatusConflict, err)
+	case errors.As(err, &mismatch):
+		writeError(w, http.StatusUnprocessableEntity, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+func (s *Server) workerFail(w http.ResponseWriter, r *http.Request) {
+	var req dispatch.FailRequest
+	if !decodeWorker(w, r, &req) {
+		return
+	}
+	switch err := s.dispatch.Fail(req.LeaseID, req.Error); {
+	case errors.Is(err, dispatch.ErrUnknownLease):
+		writeError(w, http.StatusConflict, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+// writeDispatchMetrics renders the coordinator's lease and worker
+// counters as comfedsvd_dispatch_* Prometheus families.
+func (s *Server) writeDispatchMetrics(b interface{ WriteString(string) (int, error) }) {
+	if s.dispatch == nil {
+		return
+	}
+	st := s.dispatch.Stats()
+	b.WriteString("# HELP comfedsvd_dispatch_workers_live Registered remote workers within the liveness window.\n# TYPE comfedsvd_dispatch_workers_live gauge\n")
+	b.WriteString(fmt.Sprintf("comfedsvd_dispatch_workers_live %d\n", st.WorkersLive))
+	b.WriteString("# HELP comfedsvd_dispatch_tasks_queued Shard tasks awaiting a lease.\n# TYPE comfedsvd_dispatch_tasks_queued gauge\n")
+	b.WriteString(fmt.Sprintf("comfedsvd_dispatch_tasks_queued %d\n", st.TasksQueued))
+	b.WriteString("# HELP comfedsvd_dispatch_leases_active Granted, unresolved shard leases.\n# TYPE comfedsvd_dispatch_leases_active gauge\n")
+	b.WriteString(fmt.Sprintf("comfedsvd_dispatch_leases_active %d\n", st.LeasesActive))
+	b.WriteString("# HELP comfedsvd_dispatch_leases_granted_total Shard leases granted to workers.\n# TYPE comfedsvd_dispatch_leases_granted_total counter\n")
+	b.WriteString(fmt.Sprintf("comfedsvd_dispatch_leases_granted_total %d\n", st.LeasesGranted))
+	b.WriteString("# HELP comfedsvd_dispatch_leases_completed_total Leases resolved by a digest-verified result.\n# TYPE comfedsvd_dispatch_leases_completed_total counter\n")
+	b.WriteString(fmt.Sprintf("comfedsvd_dispatch_leases_completed_total %d\n", st.LeasesCompleted))
+	b.WriteString("# HELP comfedsvd_dispatch_leases_failed_total Leases the worker reported as failed.\n# TYPE comfedsvd_dispatch_leases_failed_total counter\n")
+	b.WriteString(fmt.Sprintf("comfedsvd_dispatch_leases_failed_total %d\n", st.LeasesFailed))
+	b.WriteString("# HELP comfedsvd_dispatch_leases_expired_total Leases revoked by deadline expiry or worker loss.\n# TYPE comfedsvd_dispatch_leases_expired_total counter\n")
+	b.WriteString(fmt.Sprintf("comfedsvd_dispatch_leases_expired_total %d\n", st.LeasesExpired))
+	b.WriteString("# HELP comfedsvd_dispatch_digest_mismatches_total Determinism violations detected at the wire (disagreeing shard digests).\n# TYPE comfedsvd_dispatch_digest_mismatches_total counter\n")
+	b.WriteString(fmt.Sprintf("comfedsvd_dispatch_digest_mismatches_total %d\n", st.DigestMismatches))
+}

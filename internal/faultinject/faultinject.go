@@ -35,6 +35,11 @@ const (
 	// task record's shard.
 	OpJournalBefore = "journal.before"
 	OpJournalAfter  = "journal.after"
+	// OpQuarantine is consulted between a journal quarantine's rename and
+	// the directory sync that makes it durable — an injected crash here
+	// models losing the directory update, the window in which a crashed
+	// daemon can resurrect a quarantined journal. Stage is "quarantine".
+	OpQuarantine = "store.quarantine"
 )
 
 // Point identifies one instrumented step of the job engine.

@@ -97,9 +97,21 @@ func writeAtomic(dir, path string, write func(*os.File) error) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-completed rename or remove of an
+// entry in it is durable. A failure is surfaced, never swallowed: an
+// unsynced directory update can be undone by a crash, resurrecting a
+// name the caller believes is gone or losing one it believes exists.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: opening directory for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing directory: %w", err)
 	}
 	return nil
 }
@@ -222,5 +234,5 @@ func (s *JobStore) DeleteJob(id string) error {
 			return fmt.Errorf("persist: %w", err)
 		}
 	}
-	return nil
+	return syncDir(s.dir)
 }

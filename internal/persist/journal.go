@@ -219,8 +219,13 @@ func (s *JobStore) ListJournals() ([]string, error) {
 
 // QuarantineJournal renames job id's journal to its .corrupt name so a
 // damaged file stops being replayed on every startup but stays available
-// for inspection. It returns the quarantine path.
-func (s *JobStore) QuarantineJournal(id string) (string, error) {
+// for inspection, then fsyncs the directory — without the sync, a crash
+// right after the rename can resurrect the corrupt journal and re-fail
+// every subsequent startup. The hook, if non-nil, is consulted between
+// the rename and the directory sync (faultinject.OpQuarantine — the
+// crash window the resurrection chaos suite targets); pass nil in
+// production. It returns the quarantine path.
+func (s *JobStore) QuarantineJournal(id string, hook faultinject.Hook) (string, error) {
 	path, err := s.path(id, journalSuffix)
 	if err != nil {
 		return "", err
@@ -232,10 +237,21 @@ func (s *JobStore) QuarantineJournal(id string) (string, error) {
 	if err := os.Rename(path, dst); err != nil {
 		return "", fmt.Errorf("persist: quarantining journal: %w", err)
 	}
+	if hook != nil {
+		if err := hook(faultinject.Point{Op: faultinject.OpQuarantine, Stage: "quarantine", Shard: -1, JobID: id}); err != nil {
+			return "", err
+		}
+	}
+	if err := syncDir(s.dir); err != nil {
+		return "", err
+	}
 	return dst, nil
 }
 
-// RemoveJournal deletes job id's journal; a missing file is not an error.
+// RemoveJournal deletes job id's journal and fsyncs the directory so the
+// deletion is durable — a resurrected journal would make a restarted
+// daemon replay a job that already finished. A missing file is not an
+// error.
 func (s *JobStore) RemoveJournal(id string) error {
 	path, err := s.path(id, journalSuffix)
 	if err != nil {
@@ -244,7 +260,7 @@ func (s *JobStore) RemoveJournal(id string) error {
 	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("persist: %w", err)
 	}
-	return nil
+	return syncDir(s.dir)
 }
 
 // HasJournal reports whether a journal exists for job id.

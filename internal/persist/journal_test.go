@@ -163,7 +163,7 @@ func TestQuarantineJournal(t *testing.T) {
 		t.Fatal(err)
 	}
 	j.Close()
-	dst, err := s.QuarantineJournal("job-q")
+	dst, err := s.QuarantineJournal("job-q", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestDeleteJobRemovesJournalArtifacts(t *testing.T) {
 	}
 	j2.Append(submitRec(t))
 	j2.Close()
-	if _, err := s.QuarantineJournal("job-del2"); err != nil {
+	if _, err := s.QuarantineJournal("job-del2", nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.DeleteJob("job-del"); err != nil {

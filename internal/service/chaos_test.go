@@ -599,3 +599,70 @@ func TestQueueFullRejectionIsCounted(t *testing.T) {
 		t.Fatalf("jobs_rejected = %d, want 1", n)
 	}
 }
+
+// TestQuarantineCrashResurrectionReQuarantines pins the durability fix in
+// the quarantine path: the directory sync after the rename is what makes a
+// quarantine stick. A crash in the window between the rename and the dir
+// sync (faultinject.OpQuarantine) can lose the directory update and
+// resurrect the corrupt journal under its original name; the next startup
+// must simply quarantine it again — idempotently, without aborting, and
+// without replaying the damaged file.
+func TestQuarantineCrashResurrectionReQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	const id = "job-cafecafecafecafecafecafe"
+	journalPath := filepath.Join(dir, id+".journal")
+	if err := os.WriteFile(journalPath, []byte("this is not a journal record\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, err := persist.NewJobStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First startup crashes in the quarantine window. The manager itself
+	// survives — a quarantine failure is logged, the job still registers
+	// as failed — but the rename never became durable.
+	m1, err := NewManager(Config{
+		Workers:   1,
+		Store:     store,
+		FaultHook: faultinject.CrashNth(faultinject.OpQuarantine, "quarantine", 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, serr := m1.Status(id); serr != nil || st.State != StateFailed {
+		t.Fatalf("quarantined job after crashed quarantine: %+v, %v", st, serr)
+	}
+	// Abandon m1 (the simulated dead process) and roll the rename back,
+	// modeling the lost directory update.
+	if err := os.Rename(filepath.Join(dir, id+".journal.corrupt"), journalPath); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := persist.NewJobStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := newManager(t, Config{Workers: 1, Store: store2})
+	st, err := m2.Status(id)
+	if err != nil {
+		t.Fatalf("resurrected journal not re-quarantined: %v", err)
+	}
+	if st.State != StateFailed || !strings.Contains(st.Error, "quarantined") {
+		t.Fatalf("re-quarantined job: state %s error %q", st.State, st.Error)
+	}
+	if store2.HasJournal(id) {
+		t.Fatal("resurrected corrupt journal still in the replay path")
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+".journal.corrupt")); err != nil {
+		t.Fatalf("quarantine file missing after re-quarantine: %v", err)
+	}
+	// A healthy job still runs on the recovered manager.
+	hid, err := m2.Submit(tinyRequest(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, m2, hid); st.State != StateDone {
+		t.Fatalf("job after re-quarantine finished %s (%s)", st.State, st.Error)
+	}
+}

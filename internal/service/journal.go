@@ -137,7 +137,7 @@ func (m *Manager) recoverJournals() error {
 // quarantineJob renames a damaged journal out of the replay path and
 // registers its job as failed with a clear reason.
 func (m *Manager) quarantineJob(id string, cause error) {
-	dst, qerr := m.cfg.Store.QuarantineJournal(id)
+	dst, qerr := m.cfg.Store.QuarantineJournal(id, m.cfg.FaultHook)
 	if qerr != nil {
 		m.logRun("journal quarantine failed", id, "error", qerr.Error())
 		dst = "(rename failed)"

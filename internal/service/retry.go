@@ -90,6 +90,28 @@ func (m *Manager) retryDelay(j *job, stage string, shard, attempt int) time.Dura
 	return d + jitter
 }
 
+// SubmitRetryAfter estimates how long a rejected submitter should wait
+// before retrying, derived from queue pressure and the retry ladder's
+// base backoff instead of a hardcoded constant: the fuller the queue
+// (and the more retries are sleeping out backoffs), the longer the
+// suggested wait, clamped to [1s, 30s]. The API layer adds per-request
+// jitter on top so a saturated deployment's rejected clients don't all
+// come back in the same second.
+func (m *Manager) SubmitRetryAfter() time.Duration {
+	m.mu.Lock()
+	pressure := m.queued + m.pendingRetries
+	m.mu.Unlock()
+	d := m.cfg.RetryBaseDelay * time.Duration(pressure)
+	const minDelay, maxDelay = time.Second, 30 * time.Second
+	if d < minDelay {
+		return minDelay
+	}
+	if d > maxDelay {
+		return maxDelay
+	}
+	return d
+}
+
 // retryAfter re-enqueues a transiently failed task after its backoff.
 // It runs on its own goroutine (tracked by the worker WaitGroup so
 // Shutdown waits for scheduled retries); the job's pendingRetries count

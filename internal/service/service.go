@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"comfedsv"
+	"comfedsv/internal/dispatch"
 	"comfedsv/internal/faultinject"
 	"comfedsv/internal/persist"
 	"comfedsv/internal/telemetry"
@@ -210,6 +211,18 @@ type Config struct {
 	// nil, the production setting, costs nothing.
 	FaultHook faultinject.Hook
 
+	// Dispatcher, if non-nil, lets the scheduler lease observation-shard
+	// tasks to remote worker processes instead of running them on the
+	// local pool — the one knob behind which local and distributed
+	// execution coexist. A shard is leased only when it is remotable
+	// (run-backed job with a persisted trace workers can hydrate, a
+	// leasable permutation slice) and a live worker is registered;
+	// otherwise it runs locally. A lease lost to a dead or expired worker
+	// fails transiently and rides the retry ladder, which re-evaluates
+	// eligibility — so a dying worker fleet degrades to local execution,
+	// never to a stuck or differing job.
+	Dispatcher *dispatch.Coordinator
+
 	// buildValuation, if non-nil, replaces the whole staged pipeline —
 	// in-package tests use it to script task graphs with controlled
 	// timing. It must be cheap and infallible; the returned valuation's
@@ -295,8 +308,14 @@ type task struct {
 	// attempt counts prior executions of this task; the retry ladder
 	// re-enqueues the same task with attempt incremented.
 	attempt int
-	run     func(ctx context.Context) error
-	done    func()
+	// remote marks an observation shard claimed for lease-based execution
+	// on a remote worker. It is decided anew at every claim (a retry of a
+	// lost lease may run locally if the worker fleet emptied) and makes
+	// the pool spawn a tracked waiter goroutine instead of parking a pool
+	// worker on the lease.
+	remote bool
+	run    func(ctx context.Context) error
+	done   func()
 }
 
 // Task stage names, used by the metrics counters and the fairness tests.
@@ -837,6 +856,7 @@ func (m *Manager) worker() {
 			t = m.popTaskLocked()
 		}
 		startedNow := m.claimLocked(t)
+		t.remote = m.remoteEligibleLocked(t)
 		m.mu.Unlock()
 		if startedNow {
 			// started and submitted are written once, before this point,
@@ -849,10 +869,51 @@ func (m *Manager) worker() {
 				go m.jobWatchdog(t.j)
 			}
 		}
+		if t.remote {
+			// A leased shard waits on a remote worker, not on CPU: parking
+			// a pool worker for the round-trip would let a slow fleet
+			// starve local jobs. The wait moves to a tracked goroutine and
+			// this worker immediately serves the next task; inflight
+			// accounting (already claimed) keeps shutdown correct.
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				start := time.Now()
+				err := m.execute(t)
+				m.taskDone(t, err, time.Since(start))
+			}()
+			continue
+		}
 		start := time.Now()
 		err := m.execute(t)
 		m.taskDone(t, err, time.Since(start))
 	}
+}
+
+// remoteEligibleLocked decides whether a claimed task runs as a remote
+// lease: an observation shard of a run-backed job whose trace is
+// persisted in the shared run store (workers hydrate by content-addressed
+// run ID), whose pipeline exposes a leasable permutation slice, with at
+// least one live worker registered. Decided at claim time so a retry
+// after a lost lease re-evaluates — an emptied fleet degrades the shard
+// to local execution. Callers hold m.mu.
+func (m *Manager) remoteEligibleLocked(t *task) bool {
+	d := m.cfg.Dispatcher
+	if d == nil || t.stage != taskObserve || t.j.runID == "" {
+		return false
+	}
+	e, ok := m.runs[t.j.runID]
+	if !ok || !e.persisted {
+		return false
+	}
+	rv, ok := t.j.val.(remoteShardable)
+	if !ok || rv.ObservationBudget() <= 0 {
+		return false
+	}
+	if _, _, ok := rv.ShardSlice(t.shard); !ok {
+		return false
+	}
+	return d.HasLiveWorkers()
 }
 
 // execute runs one stage task, converting a panic in the pipeline (or in a

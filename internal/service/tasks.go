@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"comfedsv"
+	"comfedsv/internal/dispatch"
 	"comfedsv/internal/persist"
 )
 
@@ -39,6 +40,18 @@ type shardDigester interface {
 // inline job's trace so crash recovery resumes without retraining.
 type traceCarrier interface {
 	TrainedRun() *comfedsv.TrainedRun
+}
+
+// remoteShardable is optionally implemented by pipelines whose
+// observation shards can be leased to remote workers: the shard's
+// permutation slice plus the plan identity (budget, with the seed coming
+// from the job options) let a worker rebuild an identical plan from the
+// shared run store, and ImportShard installs the digest-verified result
+// as if the shard had run locally.
+type remoteShardable interface {
+	ObservationBudget() int
+	ShardSlice(shard int) (lo, hi int, ok bool)
+	ImportShard(shard int, obs *comfedsv.ShardObservations) error
 }
 
 // newValuation picks the staged pipeline for a submission: the real
@@ -158,6 +171,14 @@ func (p *pipelineValuation) ShardDigest(shard int) string { return p.v.ShardDige
 
 func (p *pipelineValuation) TrainedRun() *comfedsv.TrainedRun { return p.v.TrainedRun() }
 
+func (p *pipelineValuation) ObservationBudget() int { return p.v.ObservationBudget() }
+
+func (p *pipelineValuation) ShardSlice(shard int) (int, int, bool) { return p.v.ShardSlice(shard) }
+
+func (p *pipelineValuation) ImportShard(shard int, obs *comfedsv.ShardObservations) error {
+	return p.v.ImportShard(shard, obs)
+}
+
 // monoValuation runs a whole legacy Config.Value / Config.ValueRun hook as
 // a single observation task, so substituted pipelines keep working on the
 // staged scheduler: a one-shard graph whose observe stage is the entire
@@ -235,31 +256,76 @@ func (m *Manager) prepareTask(j *job) *task {
 // different report. The last shard to finish enqueues the
 // merge+completion stage.
 func (m *Manager) observeTask(j *job, shard int) *task {
-	return &task{
+	t := &task{
 		j:     j,
 		stage: taskObserve,
 		shard: shard,
-		run: func(ctx context.Context) error {
-			if err := j.val.ObserveShard(ctx, shard); err != nil {
+	}
+	t.run = func(ctx context.Context) error {
+		if t.remote {
+			if err := m.remoteObserve(ctx, j, shard); err != nil {
 				return err
 			}
-			var digest string
-			if d, ok := j.val.(shardDigester); ok {
-				digest = d.ShardDigest(shard)
-			}
-			if want, ok := j.wantDigests[shard]; ok && digest != "" && digest != want {
-				return fmt.Errorf("service: recovered shard %d re-derived digest %s but the journal recorded %s: determinism violation", shard, digest, want)
-			}
-			return m.appendJournal(j, persist.JournalRecord{Type: persist.RecTask, Stage: taskObserve, Shard: shard, Digest: digest})
-		},
-		done: func() {
-			j.shardsDone++
-			j.shardsLeft--
-			if j.shardsLeft == 0 {
-				m.enqueueLocked(j, m.completeTask(j))
-			}
-		},
+		} else if err := j.val.ObserveShard(ctx, shard); err != nil {
+			return err
+		}
+		var digest string
+		if d, ok := j.val.(shardDigester); ok {
+			digest = d.ShardDigest(shard)
+		}
+		if want, ok := j.wantDigests[shard]; ok && digest != "" && digest != want {
+			return fmt.Errorf("service: recovered shard %d re-derived digest %s but the journal recorded %s: determinism violation", shard, digest, want)
+		}
+		return m.appendJournal(j, persist.JournalRecord{Type: persist.RecTask, Stage: taskObserve, Shard: shard, Digest: digest})
 	}
+	t.done = func() {
+		j.shardsDone++
+		j.shardsLeft--
+		if j.shardsLeft == 0 {
+			m.enqueueLocked(j, m.completeTask(j))
+		}
+	}
+	return t
+}
+
+// remoteObserve executes one observation shard through the dispatch
+// coordinator: the shard's permutation slice is leased to a remote
+// worker, which rebuilds the job's plan from the shared run store and
+// returns digest-verified observations that ImportShard installs as if
+// the shard had run locally. On a recovered job the journaled shard
+// digest is pinned in the coordinator first, so the worker's result is
+// compared against it at the wire — the HTTP-layer half of the
+// determinism contract. Lost leases and worker failures return transient
+// errors; the retry ladder re-executes the task, re-evaluating remote
+// eligibility.
+func (m *Manager) remoteObserve(ctx context.Context, j *job, shard int) error {
+	rv, ok := j.val.(remoteShardable)
+	if !ok {
+		return fmt.Errorf("service: shard %d claimed remote but the pipeline is not remotable", shard)
+	}
+	lo, hi, ok := rv.ShardSlice(shard)
+	if !ok {
+		return fmt.Errorf("service: shard %d has no leasable permutation slice", shard)
+	}
+	task := dispatch.Task{
+		JobID:  j.id,
+		RunID:  j.runID,
+		Shard:  shard,
+		Lo:     lo,
+		Hi:     hi,
+		Budget: rv.ObservationBudget(),
+		Seed:   j.opts.Seed,
+	}
+	if want, ok := j.wantDigests[shard]; ok {
+		if err := m.cfg.Dispatcher.VerifyDigest(task, want); err != nil {
+			return err
+		}
+	}
+	obs, err := m.cfg.Dispatcher.Execute(ctx, task)
+	if err != nil {
+		return err
+	}
+	return rv.ImportShard(shard, obs)
 }
 
 // completeTask merges the shards in deterministic serial order and runs

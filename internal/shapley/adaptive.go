@@ -190,30 +190,11 @@ func (p *AdaptivePlan) ObserveShard(ctx context.Context, shard int) error {
 		panic(fmt.Sprintf("shapley: adaptive observation shard %d out of [0,%d)", shard, len(p.slices)))
 	}
 	sl := p.slices[shard]
-	seen := make(map[obsCell]bool)
-	var keys []obsCell
-	var cells []utility.Cell
-	err := p.base.walkPrefixes(ctx, sl.lo, sl.hi, func(round, col int) {
-		oc := obsCell{round: round, col: col}
-		if seen[oc] {
-			return
-		}
-		seen[oc] = true
-		keys = append(keys, oc)
-		cells = append(cells, utility.Cell{Round: round, Subset: p.base.store.ColumnSet(col)})
-	})
+	vals, err := p.base.observeRange(ctx, sl.lo, sl.hi)
 	if err != nil {
 		return err
 	}
-	vals, err := p.base.src.UtilityBatchCtx(ctx, cells, p.base.cfg.Workers)
-	if err != nil {
-		return err
-	}
-	shardVals := make(map[obsCell]float64, len(keys))
-	for i, k := range keys {
-		shardVals[k] = vals[i]
-	}
-	p.shardVals[shard] = shardVals
+	p.shardVals[shard] = vals
 	return nil
 }
 

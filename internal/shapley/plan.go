@@ -173,6 +173,20 @@ func (p *MonteCarloPlan) walkPrefixes(ctx context.Context, lo, hi int, visit fun
 // shards both reach is paid for once.
 func (p *MonteCarloPlan) ObserveShard(ctx context.Context, shard int) error {
 	lo, hi := p.shardRange(shard)
+	vals, err := p.observeRange(ctx, lo, hi)
+	if err != nil {
+		return err
+	}
+	p.shardVals[shard] = vals
+	return nil
+}
+
+// observeRange collects the distinct prefix cells reachable from the
+// permutation slice [lo, hi) and evaluates them through the plan's
+// source, returning the evaluated-cell map without touching any shard
+// state. It backs the local observe stages of both plan kinds and the
+// worker-side ObserveSlice.
+func (p *MonteCarloPlan) observeRange(ctx context.Context, lo, hi int) (map[obsCell]float64, error) {
 	seen := make(map[obsCell]bool)
 	var keys []obsCell
 	var cells []utility.Cell
@@ -186,18 +200,17 @@ func (p *MonteCarloPlan) ObserveShard(ctx context.Context, shard int) error {
 		cells = append(cells, utility.Cell{Round: round, Subset: p.store.ColumnSet(col)})
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	vals, err := p.src.UtilityBatchCtx(ctx, cells, p.cfg.Workers)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	shardVals := make(map[obsCell]float64, len(keys))
 	for i, k := range keys {
 		shardVals[k] = vals[i]
 	}
-	p.shardVals[shard] = shardVals
-	return nil
+	return shardVals, nil
 }
 
 // Merge records the shard-evaluated cells into the store by re-walking the

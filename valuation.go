@@ -242,6 +242,63 @@ func (v *Valuation) ShardDigest(shard int) string {
 	}
 }
 
+// ObservationBudget returns the job's resolved permutation budget — the
+// sample count a worker-side ShardObserver must be built with so its
+// plan matches this valuation's. Exact pipelines (no permutation
+// structure) return 0; call it after Prepare.
+func (v *Valuation) ObservationBudget() int {
+	switch {
+	case v.adaptive != nil:
+		return v.adaptive.Budget()
+	case v.mcPlan != nil:
+		return v.mcPlan.Budget()
+	default:
+		return 0
+	}
+}
+
+// ShardSlice returns the half-open permutation slice [lo, hi) owned by a
+// scheduled observation shard — the coordinates a lease ships to a remote
+// worker. ok is false for exact pipelines and shards the plan has not
+// scheduled (adaptive waves schedule shards as they advance).
+func (v *Valuation) ShardSlice(shard int) (lo, hi int, ok bool) {
+	if shard < 0 || shard >= v.shards {
+		return 0, 0, false
+	}
+	switch {
+	case v.adaptive != nil:
+		lo, hi = v.adaptive.ShardSlice(shard)
+	case v.mcPlan != nil:
+		lo, hi = v.mcPlan.ShardSlice(shard)
+	default:
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// ImportShard installs a remotely evaluated shard's observations as if
+// ObserveShard had run locally: the slice coordinates must match the
+// shard's planned range and the content digest must verify, so a corrupt
+// or mis-addressed result fails loudly instead of perturbing the report.
+// After a successful import, ShardDigest(shard) returns the imported
+// digest and the merge consumes the cells exactly as local ones.
+func (v *Valuation) ImportShard(shard int, obs *ShardObservations) error {
+	var err error
+	switch {
+	case v.adaptive != nil:
+		err = v.adaptive.ImportShard(shard, obs)
+	case v.mcPlan != nil:
+		err = v.mcPlan.ImportShard(shard, obs)
+	default:
+		return errors.New("comfedsv: exact pipelines have no observation shards to import")
+	}
+	if err != nil {
+		return err
+	}
+	v.emit(Progress{Stage: StageObserve, Done: int(v.observed.Add(1)), Total: v.shards})
+	return nil
+}
+
 // Complete merges the shard observations in deterministic serial order and
 // solves the matrix-completion problem. In adaptive mode it is the wave
 // checkpoint: it returns the number of additional observation shards the
