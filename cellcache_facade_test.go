@@ -1,0 +1,79 @@
+package comfedsv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestWarmTrainedRunReportByteIdentical pins the cell cache's façade
+// contract: cells exported after one valuation, preloaded into a freshly
+// trained (identical) TrainedRun, serve the second valuation entirely from
+// the warm cache and leave the report byte-identical.
+func TestWarmTrainedRunReportByteIdentical(t *testing.T) {
+	clients, test := makeClients(t, 6, 20, 40, 521)
+	opts := DefaultOptions(10)
+	opts.Rounds = 4
+	opts.ClientsPerRound = 3
+	opts.Seed = 521
+	opts.MonteCarloSamples = 40
+	opts.Shards = 2
+
+	ctx := context.Background()
+	tr1, err := TrainCtx(ctx, clients, test, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewValuation(tr1, opts).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldJSON, _ := json.Marshal(cold)
+
+	cells := tr1.ExportNewCells()
+	if cells == nil || len(cells.Cells) == 0 {
+		t.Fatal("cold valuation exported no cells")
+	}
+	if err := cells.Verify(); err != nil {
+		t.Fatalf("exported batch does not verify: %v", err)
+	}
+	// A second export has nothing new: the first drain took everything.
+	if again := tr1.ExportNewCells(); again != nil {
+		t.Fatalf("second export returned %d cells, want nil", len(again.Cells))
+	}
+
+	// Training is deterministic, so a fresh TrainedRun over the same spec
+	// is the trace a restarted process would load from disk.
+	tr2, err := TrainCtx(ctx, clients, test, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := tr2.PreloadCells(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != len(cells.Cells) {
+		t.Fatalf("preloaded %d of %d cells", added, len(cells.Cells))
+	}
+	warm, err := NewValuation(tr2, opts).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmJSON, _ := json.Marshal(warm)
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Fatalf("warm report is not byte-identical:\n%s\nvs\n%s", warmJSON, coldJSON)
+	}
+
+	// The warm run paid for nothing: every evaluation hit a preloaded cell.
+	if misses := tr2.CacheStats().Misses; misses != 0 {
+		t.Fatalf("warm valuation paid %d evaluations, want 0", misses)
+	}
+	if _, hits := tr2.CellCacheStats(); hits == 0 {
+		t.Fatal("warm valuation recorded no warm hits")
+	}
+	// Warm-served cells are not re-exported — no sidecar self-amplification.
+	if exp := tr2.ExportNewCells(); exp != nil {
+		t.Fatalf("warm valuation re-exported %d cells, want nil", len(exp.Cells))
+	}
+}

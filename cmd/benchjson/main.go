@@ -1,6 +1,6 @@
 // Command benchjson runs the repo's perf-anchor benchmarks and emits one
 // machine-readable JSON document, the format committed as BENCH_XXXX.json
-// snapshots (see README "Observability"). Four scenarios cover the cost
+// snapshots (see README "Observability"). Five scenarios cover the cost
 // centers of the valuation pipeline:
 //
 //   - als_completion: the ALS matrix-completion solver on the realistic
@@ -16,6 +16,11 @@
 //     stopping plus the worst-case value deviation it costs. The counts
 //     and deviations are deterministic, so the scenario fails loudly if
 //     the run stops late or drifts past the tolerance.
+//   - warm_cache_valuation: one run-backed job valued cold on a fresh
+//     manager, then again on a restarted manager warm-started from the
+//     run's persistent cell sidecar. Reports must stay byte-identical
+//     and the warm hit rate must clear 90%, so a cache regression fails
+//     the bench instead of skewing it.
 //
 // The first two run once per -cpu entry with GOMAXPROCS pinned, so a
 // single document records the scaling curve. Numbers are comparable only
@@ -41,6 +46,7 @@ import (
 	"comfedsv/internal/fl"
 	"comfedsv/internal/mc"
 	"comfedsv/internal/model"
+	"comfedsv/internal/persist"
 	"comfedsv/internal/rng"
 	"comfedsv/internal/service"
 	"comfedsv/internal/utility"
@@ -280,6 +286,89 @@ func main() {
 			cpu, total/time.Duration(aReps), fixedRep.UtilityCalls, adRep.UtilityCalls, savings*100, maxDev, aTol)
 	}
 
+	// --- warm_cache_valuation ---
+	// The persistent utility-cell cache across a daemon restart: one
+	// run-backed Monte-Carlo job runs cold on a fresh manager (cells flush
+	// to the run's sidecar), then the manager is torn down and a new one
+	// over the same store serves the identical job warm. Cold and warm
+	// wall-clocks are both recorded; the self-checks are deterministic —
+	// the warm report must be byte-identical and the warm hit rate must
+	// clear 90% (it is 100% by construction: a restarted daemon preloads
+	// every cell the cold job evaluated).
+	wClients, wRounds, wSamples, wShards, wReps := 24, 10, 200, 4, 3
+	if *quick {
+		wClients, wRounds, wSamples, wShards, wReps = 12, 5, 48, 2, 1
+	}
+	{
+		cpu := cpuList[len(cpuList)-1]
+		runtime.GOMAXPROCS(cpu)
+		dir, err := os.MkdirTemp("", "comfedsv-bench-cells-")
+		if err != nil {
+			fail(fmt.Errorf("warm_cache_valuation: %w", err))
+		}
+		defer os.RemoveAll(dir)
+		req := mixedRequest(91, wClients, wSamples, wRounds, wShards)
+		req.Options.Parallelism = cpu
+		spec := service.RunSpec{Clients: req.Clients, Test: req.Test, Options: req.Options}
+
+		coldDur, coldRep, coldMetrics, err := warmCacheJob(dir, cpu, spec, req)
+		if err != nil {
+			fail(fmt.Errorf("warm_cache_valuation cold: %w", err))
+		}
+		if coldMetrics.CellsPersisted == 0 {
+			fail(fmt.Errorf("warm_cache_valuation: cold job persisted no cells"))
+		}
+		if coldMetrics.CellsPreloaded != 0 {
+			fail(fmt.Errorf("warm_cache_valuation: cold job preloaded %d cells from an empty store", coldMetrics.CellsPreloaded))
+		}
+
+		var warmTotal time.Duration
+		var warmMetrics service.Metrics
+		for i := 0; i < wReps; i++ {
+			warmDur, warmRep, met, err := warmCacheJob(dir, cpu, spec, req)
+			if err != nil {
+				fail(fmt.Errorf("warm_cache_valuation warm: %w", err))
+			}
+			if !jsonEqual(coldRep, warmRep) {
+				fail(fmt.Errorf("warm_cache_valuation: warm report is not byte-identical to the cold one"))
+			}
+			warmTotal += warmDur
+			warmMetrics = met
+		}
+		warmMean := warmTotal / time.Duration(wReps)
+		if warmMetrics.CellsPreloaded == 0 {
+			fail(fmt.Errorf("warm_cache_valuation: restarted manager preloaded no cells"))
+		}
+		var warmMisses int64
+		for _, rc := range warmMetrics.RunCaches {
+			warmMisses += int64(rc.Misses)
+		}
+		hitRate := float64(warmMetrics.CellsWarmHits) / float64(warmMetrics.CellsWarmHits+warmMisses)
+		if hitRate < 0.90 {
+			fail(fmt.Errorf("warm_cache_valuation: warm hit rate %.1f%% below the 90%% bar (%d warm hits, %d misses)",
+				hitRate*100, warmMetrics.CellsWarmHits, warmMisses))
+		}
+		doc.Benchmarks = append(doc.Benchmarks, benchResult{
+			Name:       "warm_cache_valuation",
+			GOMAXPROCS: cpu,
+			Workers:    cpu,
+			Iterations: wReps,
+			NsPerOp:    warmMean.Nanoseconds(),
+			Extra: map[string]float64{
+				"cold_ns_per_op":  float64(coldDur.Nanoseconds()),
+				"cells_persisted": float64(coldMetrics.CellsPersisted),
+				"cells_preloaded": float64(warmMetrics.CellsPreloaded),
+				"warm_hits":       float64(warmMetrics.CellsWarmHits),
+				"warm_misses":     float64(warmMisses),
+				"warm_hit_rate":   hitRate,
+				"speedup":         float64(coldDur.Nanoseconds()) / float64(warmMean.Nanoseconds()),
+			},
+		})
+		fmt.Fprintf(os.Stderr, "warm_cache_valuation gomaxprocs=%d: cold %v, warm %v/op (%d reps), hit rate %.1f%% (%d hits / %d misses), %.1fx\n",
+			cpu, coldDur, warmMean, wReps, hitRate*100, warmMetrics.CellsWarmHits, warmMisses,
+			float64(coldDur.Nanoseconds())/float64(warmMean.Nanoseconds()))
+	}
+
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fail(err)
@@ -438,6 +527,80 @@ func mixedRequest(seed int64, clients, samples, rounds, shards int) service.Requ
 	opts.MonteCarloSamples = samples
 	opts.Shards = shards
 	return service.Request{Clients: cs, Test: mk(0.25, 32), Options: opts}
+}
+
+// warmCacheJob boots a manager over the run store at dir, ensures the
+// spec's shared run exists (training once, on the first call), runs the
+// run-backed job to completion, and returns the submit→done duration,
+// the report, and the manager's final metrics. Each call is one full
+// daemon lifecycle, so a second call over the same dir measures a
+// restarted daemon warm-starting from the cell sidecar.
+func warmCacheJob(dir string, workers int, spec service.RunSpec, req service.Request) (time.Duration, *comfedsv.Report, service.Metrics, error) {
+	var zero service.Metrics
+	store, err := persist.NewRunStore(dir)
+	if err != nil {
+		return 0, nil, zero, err
+	}
+	m, err := service.NewManager(service.Config{Workers: workers, RunStore: store})
+	if err != nil {
+		return 0, nil, zero, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	}()
+	if _, _, err := m.CreateRun(spec); err != nil {
+		return 0, nil, zero, err
+	}
+	runID := service.RunIDForSpec(spec)
+	for {
+		st, err := m.RunStatus(runID)
+		if err != nil {
+			return 0, nil, zero, err
+		}
+		if st.State == service.RunFailed {
+			return 0, nil, zero, fmt.Errorf("run failed: %s", st.Error)
+		}
+		if st.State == service.RunReady {
+			break
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	req.Clients, req.Test = nil, comfedsv.Client{}
+	req.RunID = runID
+	start := time.Now()
+	id, err := m.Submit(req)
+	if err != nil {
+		return 0, nil, zero, err
+	}
+	for {
+		st, err := m.Status(id)
+		if err != nil {
+			return 0, nil, zero, err
+		}
+		if st.State.Terminal() {
+			if st.State != service.StateDone {
+				return 0, nil, zero, fmt.Errorf("job finished %s (%s)", st.State, st.Error)
+			}
+			break
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	dur := time.Since(start)
+	rep, err := m.Report(id)
+	if err != nil {
+		return 0, nil, zero, err
+	}
+	return dur, rep, m.Metrics(), nil
+}
+
+// jsonEqual compares two reports by their canonical JSON encoding — the
+// byte-identity contract the cache promises at the HTTP boundary.
+func jsonEqual(a, b *comfedsv.Report) bool {
+	ja, errA := json.Marshal(a)
+	jb, errB := json.Marshal(b)
+	return errA == nil && errB == nil && string(ja) == string(jb)
 }
 
 // mixedLoadOnce runs one big-job-then-small-job pair on a one-worker

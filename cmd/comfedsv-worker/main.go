@@ -7,6 +7,15 @@
 // workers (or losing one mid-shard — its lease expires and the shard is
 // re-leased) never changes a byte of any report.
 //
+// Hydrated runs are cached by run ID alone — utility cells are pure
+// functions of the trace, independent of any job's budget or seed — and
+// warm-started from the run's `<runID>.cells` sidecar when present, so a
+// worker skips every evaluation some earlier job, process, or peer
+// already paid for. Each completion ships the cells the lease newly
+// evaluated back to the coordinator, which persists them for the next
+// reader. A damaged sidecar is quarantined and the run proceeds cold;
+// the cache is an optimization, never a correctness dependency.
+//
 // The worker needs exactly two things from the deployment: the
 // coordinator's base URL and the same -runs-dir the coordinator persists
 // shared training runs into (a shared filesystem or a synchronized copy).
@@ -90,7 +99,7 @@ func main() {
 		parallelism: parallelism,
 		poll:        *poll,
 		log:         logger.With("worker", id),
-		observers:   make(map[observerKey]*comfedsv.ShardObserver),
+		trained:     make(map[string]*comfedsv.TrainedRun),
 	}
 	if err := w.run(ctx); err != nil && !errors.Is(err, context.Canceled) {
 		w.log.Error("worker exited", "error", err)
@@ -99,20 +108,16 @@ func main() {
 	w.log.Info("bye")
 }
 
-// observerKey identifies one rebuildable observation plan. Two leases of
-// the same job share a plan; a re-submitted job with the same (run,
-// budget, seed) does too, by construction of the plan as a pure function
-// of its key.
-type observerKey struct {
-	runID  string
-	budget int
-	seed   int64
-}
-
-// maxCachedObservers bounds the worker's plan cache. Plans hold the
-// trained run's evaluator (weights + test set), so an unbounded cache
-// on a long-lived worker is a slow leak; eviction only costs a rebuild.
-const maxCachedObservers = 4
+// maxCachedRuns bounds the worker's hydrated-run cache. A TrainedRun
+// holds the trace, the test set, and the utility-cell memo table, so an
+// unbounded cache on a long-lived worker is a slow leak; eviction only
+// costs a re-hydration (and the sidecar re-warms the cells). Keyed by
+// run ID alone — NOT (run, budget, seed) — because cells depend only on
+// the trace: two jobs over the same run with different budgets or seeds
+// share every overlapping cell. The observation plan, which does depend
+// on (budget, seed), is cheap next to cell evaluation and is rebuilt per
+// lease.
+const maxCachedRuns = 4
 
 type worker struct {
 	client      *dispatch.Client
@@ -121,8 +126,8 @@ type worker struct {
 	poll        time.Duration
 	log         *slog.Logger
 
-	mu        sync.Mutex
-	observers map[observerKey]*comfedsv.ShardObserver
+	mu      sync.Mutex
+	trained map[string]*comfedsv.TrainedRun
 }
 
 // run is the daemon loop: register (retrying until the coordinator is
@@ -239,7 +244,7 @@ func (w *worker) serve(ctx context.Context, lease *dispatch.Lease) {
 		"shard", t.Shard, "lo", t.Lo, "hi", t.Hi)
 	log.Info("lease granted")
 	start := time.Now()
-	obs, err := w.observe(ctx, t)
+	obs, cells, err := w.observe(ctx, t)
 	if err != nil {
 		if ctx.Err() != nil {
 			// Shutdown mid-shard: the deferred deregister revokes the
@@ -253,51 +258,103 @@ func (w *worker) serve(ctx context.Context, lease *dispatch.Lease) {
 		}
 		return
 	}
-	if err := w.client.Complete(ctx, lease.ID, obs); err != nil {
+	if err := w.client.Complete(ctx, lease.ID, obs, cells); err != nil {
+		// The cell delta dies with the failed report — ExportNewCells
+		// already drained it. Only an optimization is lost: the
+		// re-leased shard (here or elsewhere) re-derives the cells.
 		log.Warn("reporting shard", "error", err)
 		return
 	}
+	newCells := 0
+	if cells != nil {
+		newCells = len(cells.Cells)
+	}
 	log.Info("shard completed", "cells", len(obs.Cells), "digest", obs.Digest,
+		"new_cache_cells", newCells,
 		"elapsed", time.Since(start).Round(time.Millisecond))
 }
 
-// observe evaluates the leased permutation slice, rebuilding (and
-// caching) the job's observation plan from the shared run store.
-func (w *worker) observe(ctx context.Context, t dispatch.Task) (*comfedsv.ShardObservations, error) {
-	so, err := w.observer(ctx, t)
+// observe evaluates the leased permutation slice against the cached
+// (sidecar-warmed) run, rebuilding the job's observation plan for this
+// lease, and drains the newly evaluated utility cells to ship home with
+// the completion. serve calls are serial, so the drained delta is
+// exactly this lease's contribution (plus any cells a previously failed
+// report lost custody of — re-exporting those is harmless).
+func (w *worker) observe(ctx context.Context, t dispatch.Task) (*comfedsv.ShardObservations, *comfedsv.CellBatch, error) {
+	tr, err := w.trainedRun(t.RunID)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return so.ObserveSlice(ctx, t.Lo, t.Hi)
+	so, err := comfedsv.NewShardObserver(ctx, tr, t.Budget, t.Seed, w.parallelism)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rebuilding observation plan for run %s: %w", t.RunID, err)
+	}
+	obs, err := so.ObserveSlice(ctx, t.Lo, t.Hi)
+	if err != nil {
+		return nil, nil, err
+	}
+	return obs, tr.ExportNewCells(), nil
 }
 
-func (w *worker) observer(ctx context.Context, t dispatch.Task) (*comfedsv.ShardObserver, error) {
-	key := observerKey{runID: t.RunID, budget: t.Budget, seed: t.Seed}
+// trainedRun returns the cached hydrated run for runID, loading the
+// trace from the shared store and warm-starting its evaluator from the
+// cell sidecar on first use.
+func (w *worker) trainedRun(runID string) (*comfedsv.TrainedRun, error) {
 	w.mu.Lock()
-	so, ok := w.observers[key]
+	tr, ok := w.trained[runID]
 	w.mu.Unlock()
 	if ok {
-		return so, nil
+		return tr, nil
 	}
-	run, err := w.runs.LoadRun(t.RunID)
+	run, err := w.runs.LoadRun(runID)
 	if err != nil {
-		return nil, fmt.Errorf("hydrating run %s: %w", t.RunID, err)
+		return nil, fmt.Errorf("hydrating run %s: %w", runID, err)
 	}
-	so, err = comfedsv.NewShardObserver(ctx, comfedsv.NewTrainedRun(run), t.Budget, t.Seed, w.parallelism)
-	if err != nil {
-		return nil, fmt.Errorf("rebuilding observation plan for run %s: %w", t.RunID, err)
-	}
+	tr = comfedsv.NewTrainedRun(run)
+	w.hydrateCells(runID, tr)
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if cached, ok := w.observers[key]; ok {
+	if cached, ok := w.trained[runID]; ok {
 		return cached, nil
 	}
-	if len(w.observers) >= maxCachedObservers {
-		for k := range w.observers {
-			delete(w.observers, k)
+	if len(w.trained) >= maxCachedRuns {
+		for k := range w.trained {
+			delete(w.trained, k)
 			break
 		}
 	}
-	w.observers[key] = so
-	return so, nil
+	w.trained[runID] = tr
+	return tr, nil
+}
+
+// hydrateCells warm-starts a freshly hydrated run from its cell-cache
+// sidecar. Strictly best-effort: a damaged sidecar is quarantined
+// (keeping any batches that verified before the damage) and the run
+// proceeds cold — the lease must never fail over a cache.
+func (w *worker) hydrateCells(runID string, tr *comfedsv.TrainedRun) {
+	batches, err := w.runs.ReadCells(runID)
+	if err != nil {
+		w.quarantineCells(runID, err)
+		return
+	}
+	added := 0
+	for _, b := range batches {
+		n, perr := tr.PreloadCells(b)
+		if perr != nil {
+			w.quarantineCells(runID, perr)
+			break
+		}
+		added += n
+	}
+	if added > 0 {
+		w.log.Info("cell cache preloaded", "run", runID, "cells", added, "batches", len(batches))
+	}
+}
+
+func (w *worker) quarantineCells(runID string, cause error) {
+	dst, qerr := w.runs.QuarantineCells(runID)
+	if qerr != nil {
+		dst = "(rename failed: " + qerr.Error() + ")"
+	}
+	w.log.Warn("cell cache corrupt, quarantined", "run", runID, "quarantine", dst, "error", cause)
 }

@@ -39,25 +39,26 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "scheduler worker goroutines, each running one stage task at a time (0 = GOMAXPROCS)")
-		par       = flag.Int("parallelism", 0, "per-task CPU parallelism for jobs that don't set it (0 = fair share of GOMAXPROCS across workers)")
-		shards    = flag.Int("shards", 0, "observation shards per job for jobs that don't set it (0 = 1; sharding never changes a report)")
-		tol       = flag.Float64("tolerance", 0, "default convergence tolerance for Monte-Carlo jobs that don't set one: adaptive valuation stops sampling once per-client estimates move less than this between waves, with the job's sample count as the budget (0 = fixed-budget valuation)")
-		queue     = flag.Int("queue", 64, "max queued jobs before submissions are rejected")
-		storeDir  = flag.String("store", "", "directory for persisted job reports (empty = in-memory only)")
-		runsDir   = flag.String("runs-dir", "", "directory for persisted shared training runs (empty = in-memory only)")
-		jobTTL    = flag.Duration("job-ttl", 0, "evict terminal jobs (memory and store) this long after they finish (0 = keep forever)")
-		retries   = flag.Int("max-task-retries", 3, "max re-executions of a transiently failed stage task before the job fails")
-		taskTO    = flag.Duration("task-timeout", 0, "per-task execution deadline; a timed-out task is retried as transient (0 = none)")
-		jobTO     = flag.Duration("job-timeout", 0, "whole-job wall-clock deadline from start to finish (0 = none)")
-		timeout   = flag.Duration("drain", 30*time.Second, "max time to drain running jobs on shutdown")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "scheduler worker goroutines, each running one stage task at a time (0 = GOMAXPROCS)")
+		par        = flag.Int("parallelism", 0, "per-task CPU parallelism for jobs that don't set it (0 = fair share of GOMAXPROCS across workers)")
+		shards     = flag.Int("shards", 0, "observation shards per job for jobs that don't set it (0 = 1; sharding never changes a report)")
+		tol        = flag.Float64("tolerance", 0, "default convergence tolerance for Monte-Carlo jobs that don't set one: adaptive valuation stops sampling once per-client estimates move less than this between waves, with the job's sample count as the budget (0 = fixed-budget valuation)")
+		queue      = flag.Int("queue", 64, "max queued jobs before submissions are rejected")
+		storeDir   = flag.String("store", "", "directory for persisted job reports (empty = in-memory only)")
+		runsDir    = flag.String("runs-dir", "", "directory for persisted shared training runs (empty = in-memory only)")
+		noCells    = flag.Bool("no-cell-cache", false, "disable the persistent utility-cell cache (with -runs-dir): no sidecar reads on run load, no flushes at merge/completion, no worker-delta absorption; reports are unchanged either way")
+		jobTTL     = flag.Duration("job-ttl", 0, "evict terminal jobs (memory and store) this long after they finish (0 = keep forever)")
+		retries    = flag.Int("max-task-retries", 3, "max re-executions of a transiently failed stage task before the job fails")
+		taskTO     = flag.Duration("task-timeout", 0, "per-task execution deadline; a timed-out task is retried as transient (0 = none)")
+		jobTO      = flag.Duration("job-timeout", 0, "whole-job wall-clock deadline from start to finish (0 = none)")
+		timeout    = flag.Duration("drain", 30*time.Second, "max time to drain running jobs on shutdown")
 		dispatchOn = flag.Bool("dispatch", false, "lease observation shards to remote comfedsv-worker daemons over /v1/worker (requires -runs-dir shared with the workers); local execution remains the fallback whenever no worker is live")
 		leaseTTL   = flag.Duration("lease-ttl", 2*time.Minute, "revoke and re-lease a shard lease not completed within this window (with -dispatch)")
 		workerTTL  = flag.Duration("worker-ttl", 30*time.Second, "consider a worker dead after this long without a heartbeat or poll (with -dispatch)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled); keep it off any public interface")
-		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of logfmt-style text")
-		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (per-request access logs are debug)")
+		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of logfmt-style text")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (per-request access logs are debug)")
 	)
 	flag.Parse()
 
@@ -93,6 +94,7 @@ func main() {
 		MaxTaskRetries:     *retries,
 		TaskTimeout:        *taskTO,
 		JobTimeout:         *jobTO,
+		DisableCellCache:   *noCells,
 		Logger:             logger,
 	}
 	if *storeDir != "" {

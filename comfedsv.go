@@ -284,6 +284,38 @@ type EvalStats struct {
 	Misses int `json:"misses"`
 }
 
+// CellBatch is a canonical, digest-stamped batch of memoized utility cells
+// — the unit of the persistent run-scoped cell cache. Re-exported so the
+// service, the dispatch wire, and the worker daemon speak one type.
+type CellBatch = utility.CellBatch
+
+// PreloadCells installs previously exported cells into the shared
+// evaluator's memo table, warm-starting every valuation over this run. The
+// batch is digest-verified and bounds-checked before anything is
+// installed; a bad batch changes nothing and returns an error so the
+// caller can quarantine its source. Preloaded cells do not count as cache
+// misses, so report bytes are unaffected — a warm start only skips
+// test-loss evaluations that would have produced the same values. It
+// returns the number of newly installed cells.
+func (tr *TrainedRun) PreloadCells(b *CellBatch) (int, error) {
+	return tr.eval.Preload(b)
+}
+
+// ExportNewCells drains and returns the cells this process evaluated since
+// the last drain (excluding preloaded ones) as a stamped canonical batch,
+// or nil if nothing new was evaluated — what a service flush persists and
+// a worker ships with its shard completions.
+func (tr *TrainedRun) ExportNewCells() *CellBatch {
+	return tr.eval.ExportNew()
+}
+
+// CellCacheStats returns the persistent-cache ledger of the shared
+// evaluator: how many cells were preloaded from elsewhere and how many
+// lookups those cells served (test-loss evaluations a warm start avoided).
+func (tr *TrainedRun) CellCacheStats() (preloaded, warmHits int) {
+	return tr.eval.Preloaded(), tr.eval.WarmHits()
+}
+
 // Train runs only the FedAvg training stage of Value and returns the
 // trace ready for (repeated) valuation.
 func Train(clients []Client, test Client, opts Options) (*TrainedRun, error) {

@@ -568,6 +568,15 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "comfedsvd_run_cache_misses_total{run_id=%q} %d\n", rc.ID, rc.Misses)
 	}
 
+	b.WriteString("# HELP comfedsvd_cellcache_preloaded_total Utility cells warm-started into run evaluators from sidecars and worker deltas.\n# TYPE comfedsvd_cellcache_preloaded_total counter\n")
+	fmt.Fprintf(&b, "comfedsvd_cellcache_preloaded_total %d\n", m.CellsPreloaded)
+	b.WriteString("# HELP comfedsvd_cellcache_persisted_total Utility cells durably appended to run cell-cache sidecars.\n# TYPE comfedsvd_cellcache_persisted_total counter\n")
+	fmt.Fprintf(&b, "comfedsvd_cellcache_persisted_total %d\n", m.CellsPersisted)
+	b.WriteString("# HELP comfedsvd_cellcache_hit_total Utility-cache hits served by a preloaded cell (evaluations an earlier process or worker paid for).\n# TYPE comfedsvd_cellcache_hit_total counter\n")
+	fmt.Fprintf(&b, "comfedsvd_cellcache_hit_total %d\n", m.CellsWarmHits)
+	b.WriteString("# HELP comfedsvd_cellcache_corrupt_total Cell-cache sidecars quarantined as corrupt (runs degraded to a cold cache).\n# TYPE comfedsvd_cellcache_corrupt_total counter\n")
+	fmt.Fprintf(&b, "comfedsvd_cellcache_corrupt_total %d\n", m.CellsCorrupt)
+
 	telemetry.WritePrometheusFamily(&b, "comfedsvd_task_duration_seconds",
 		"Wall-clock execution time of scheduler stage tasks, by pipeline stage.",
 		"stage", m.TaskLatency)

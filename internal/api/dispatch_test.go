@@ -85,7 +85,7 @@ func runWorker(ctx context.Context, t *testing.T, base, id, runsDir string) {
 			cl.Fail(ctx, lease.ID, err.Error())
 			continue
 		}
-		if err := cl.Complete(ctx, lease.ID, obs); err != nil && ctx.Err() == nil {
+		if err := cl.Complete(ctx, lease.ID, obs, nil); err != nil && ctx.Err() == nil {
 			t.Errorf("worker %s: complete: %v", id, err)
 		}
 	}
@@ -221,7 +221,7 @@ func TestDistributedObservationByteIdenticalWithWorkerLoss(t *testing.T) {
 	// 409 — its lease was revoked and the shard re-leased.
 	straggler := &comfedsv.ShardObservations{Lo: doomedLease.Task.Lo, Hi: doomedLease.Task.Hi}
 	straggler.Stamp()
-	err := doomed.Complete(ctx, doomedLease.ID, straggler)
+	err := doomed.Complete(ctx, doomedLease.ID, straggler, nil)
 	if err == nil || !strings.Contains(err.Error(), "409") {
 		t.Fatalf("straggler completion: %v, want 409 conflict", err)
 	}

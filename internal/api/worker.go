@@ -125,7 +125,7 @@ func (s *Server) workerComplete(w http.ResponseWriter, r *http.Request) {
 	if !decodeWorker(w, r, &req) {
 		return
 	}
-	err := s.dispatch.Complete(req.LeaseID, req.Observations)
+	err := s.dispatch.Complete(req.LeaseID, req.Observations, req.Cells)
 	var mismatch *dispatch.DigestMismatchError
 	switch {
 	case errors.Is(err, dispatch.ErrUnknownLease):

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"comfedsv/internal/shapley"
+	"comfedsv/internal/utility"
 )
 
 // Wire request/response bodies of the worker endpoints, shared by the
@@ -36,10 +37,13 @@ type LeaseRequest struct {
 	WaitSeconds float64 `json:"wait_seconds,omitempty"`
 }
 
-// CompleteRequest reports one evaluated shard with its content digest.
+// CompleteRequest reports one evaluated shard with its content digest,
+// optionally piggybacking the worker's newly evaluated utility cells so
+// the coordinator can warm the run's shared cache.
 type CompleteRequest struct {
 	LeaseID      string                     `json:"lease_id"`
 	Observations *shapley.ShardObservations `json:"observations"`
+	Cells        *utility.CellBatch         `json:"cells,omitempty"`
 }
 
 // FailRequest reports a worker-side failure evaluating a lease.
@@ -153,9 +157,10 @@ func (c *Client) Lease(ctx context.Context, wait time.Duration) (*Lease, error) 
 	return &lease, nil
 }
 
-// Complete reports one evaluated shard.
-func (c *Client) Complete(ctx context.Context, leaseID string, obs *shapley.ShardObservations) error {
-	_, err := c.post(ctx, "/v1/worker/complete", CompleteRequest{LeaseID: leaseID, Observations: obs}, nil)
+// Complete reports one evaluated shard, optionally with the worker's
+// cell-cache delta.
+func (c *Client) Complete(ctx context.Context, leaseID string, obs *shapley.ShardObservations, cells *utility.CellBatch) error {
+	_, err := c.post(ctx, "/v1/worker/complete", CompleteRequest{LeaseID: leaseID, Observations: obs, Cells: cells}, nil)
 	return err
 }
 

@@ -21,10 +21,16 @@
 //     with a transient error, which rides the scheduler's existing
 //     deterministic retry ladder back to a fresh lease (or to local
 //     execution when no live workers remain).
+//   - Completions may piggyback the worker's newly evaluated utility
+//     cells (a utility.CellBatch). The coordinator carries the batch
+//     opaquely — it cannot verify cells without the training trace — and
+//     hands it to the waiting Execute, whose caller preloads and persists
+//     it. Losing a delta (failed lease, straggler) is only a lost
+//     optimization, never a correctness issue.
 //
-// The package is dependency-free beyond the standard library and
-// internal/shapley's wire types, so service and api can both import it
-// without cycles.
+// The package is dependency-free beyond the standard library and the
+// internal/shapley and internal/utility wire types, so service and api
+// can both import it without cycles.
 package dispatch
 
 import (
@@ -36,6 +42,7 @@ import (
 	"time"
 
 	"comfedsv/internal/shapley"
+	"comfedsv/internal/utility"
 )
 
 // Clock abstracts time for deterministic lease-expiry tests; it is
@@ -125,7 +132,7 @@ func (e *WorkerError) Transient() bool { return true }
 // different observation digests — a determinism violation. It is NOT
 // transient: retrying cannot make both answers right, so it fails loudly.
 type DigestMismatchError struct {
-	Key      string
+	Key       string
 	Got, Want string
 }
 
@@ -189,8 +196,9 @@ type Stats struct {
 
 // outcome resolves one Execute.
 type outcome struct {
-	obs *shapley.ShardObservations
-	err error
+	obs   *shapley.ShardObservations
+	cells *utility.CellBatch // optional cache delta riding the completion
+	err   error
 }
 
 // pending is one task awaiting or holding a lease.
@@ -332,15 +340,17 @@ func (c *Coordinator) liveWorkersLocked() int {
 // is done. Lost leases and worker-side failures return transient errors
 // (the scheduler's retry ladder re-executes, re-evaluating remote
 // eligibility); a digest mismatch returns a permanent determinism error.
-func (c *Coordinator) Execute(ctx context.Context, task Task) (*shapley.ShardObservations, error) {
+// The returned CellBatch is the worker's unverified cache delta, nil
+// when the completion carried none.
+func (c *Coordinator) Execute(ctx context.Context, task Task) (*shapley.ShardObservations, *utility.CellBatch, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, ErrClosed
+		return nil, nil, ErrClosed
 	}
 	if c.liveWorkersLocked() == 0 {
 		c.mu.Unlock()
-		return nil, ErrNoWorkers
+		return nil, nil, ErrNoWorkers
 	}
 	entry := &pending{task: task, done: make(chan outcome, 1)}
 	c.queue = append(c.queue, entry)
@@ -350,17 +360,17 @@ func (c *Coordinator) Execute(ctx context.Context, task Task) (*shapley.ShardObs
 	for {
 		select {
 		case out := <-entry.done:
-			return out.obs, out.err
+			return out.obs, out.cells, out.err
 		case <-ctx.Done():
 			c.abandon(entry)
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		case <-c.cfg.Clock.After(c.cfg.WorkerTTL):
 			// Re-check the fleet while queued: a task enqueued just before
 			// the last worker died would otherwise wait forever — nobody
 			// polls an empty registry. Leased entries keep their own
 			// deadline watchdog.
 			if c.withdrawIfStranded(entry) {
-				return nil, ErrNoWorkers
+				return nil, nil, ErrNoWorkers
 			}
 		}
 	}
@@ -525,7 +535,10 @@ func (c *Coordinator) resolveLocked(id string) (*activeLease, bool) {
 // the waiting Execute (if any) also fails permanently. A completion for
 // an unknown or already-revoked lease returns ErrUnknownLease after the
 // digest comparison, so a straggler worker still gets its answer checked.
-func (c *Coordinator) Complete(leaseID string, obs *shapley.ShardObservations) error {
+// cells, if non-nil, is the worker's utility-cache delta; it is carried
+// opaquely to the waiting Execute (the coordinator has no trace to
+// verify it against — the service-side preload does).
+func (c *Coordinator) Complete(leaseID string, obs *shapley.ShardObservations, cells *utility.CellBatch) error {
 	if obs == nil {
 		return errors.New("dispatch: nil observations")
 	}
@@ -558,7 +571,7 @@ func (c *Coordinator) Complete(leaseID string, obs *shapley.ShardObservations) e
 	c.digests[key] = obs.Digest
 	c.completed++
 	c.logf("lease completed", "lease", leaseID, "worker", al.worker, "digest", obs.Digest)
-	al.entry.done <- outcome{obs: obs}
+	al.entry.done <- outcome{obs: obs, cells: cells}
 	return nil
 }
 

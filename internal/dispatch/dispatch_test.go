@@ -36,7 +36,7 @@ func testTask() Task {
 func execute(c *Coordinator, task Task) chan outcome {
 	ch := make(chan outcome, 1)
 	go func() {
-		obs, err := c.Execute(context.Background(), task)
+		obs, _, err := c.Execute(context.Background(), task)
 		ch <- outcome{obs: obs, err: err}
 	}()
 	return ch
@@ -73,7 +73,7 @@ func TestLeaseLifecycle(t *testing.T) {
 	}
 
 	obs := mkObs(0, 4, shapley.ObservedCell{Round: 0, Col: 1, Value: 0.5})
-	if err := c.Complete(lease.ID, obs); err != nil {
+	if err := c.Complete(lease.ID, obs, nil); err != nil {
 		t.Fatalf("Complete: %v", err)
 	}
 	out := waitOutcome(t, done)
@@ -93,7 +93,7 @@ func TestLeaseLifecycle(t *testing.T) {
 func TestExecuteFailsFastWithoutWorkers(t *testing.T) {
 	c := NewCoordinator(Config{})
 	defer c.Close()
-	_, err := c.Execute(context.Background(), testTask())
+	_, _, err := c.Execute(context.Background(), testTask())
 	if !errors.Is(err, ErrNoWorkers) {
 		t.Fatalf("Execute without workers: %v, want ErrNoWorkers", err)
 	}
@@ -130,7 +130,7 @@ func TestLeaseExpiryDeliversTransientLostLease(t *testing.T) {
 	}
 
 	// The straggler's late completion is rejected, not merged.
-	if err := c.Complete(lease.ID, mkObs(0, 4)); !errors.Is(err, ErrUnknownLease) {
+	if err := c.Complete(lease.ID, mkObs(0, 4), nil); !errors.Is(err, ErrUnknownLease) {
 		t.Fatalf("Complete on expired lease: %v, want ErrUnknownLease", err)
 	}
 	if st := c.Stats(); st.LeasesExpired != 1 {
@@ -236,7 +236,7 @@ func TestReLeaseAfterWorkerFailureKeepsDigestPinned(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Lease: %v", err)
 	}
-	if err := c.Complete(lease2.ID, obs); err != nil {
+	if err := c.Complete(lease2.ID, obs, nil); err != nil {
 		t.Fatalf("Complete: %v", err)
 	}
 	if out := waitOutcome(t, done); out.err != nil {
@@ -250,7 +250,7 @@ func TestReLeaseAfterWorkerFailureKeepsDigestPinned(t *testing.T) {
 		t.Fatalf("Lease: %v", err)
 	}
 	bad := mkObs(0, 4, shapley.ObservedCell{Round: 1, Col: 0, Value: 0.75})
-	err = c.Complete(lease3.ID, bad)
+	err = c.Complete(lease3.ID, bad, nil)
 	var mismatch *DigestMismatchError
 	if !errors.As(err, &mismatch) {
 		t.Fatalf("Complete with diverging digest: %v, want DigestMismatchError", err)
@@ -294,7 +294,7 @@ func TestVerifyDigestPinsJournaledDigest(t *testing.T) {
 		t.Fatalf("Lease: %v", err)
 	}
 	bad := mkObs(0, 4, shapley.ObservedCell{Round: 0, Col: 0, Value: 2})
-	if err := c.Complete(lease.ID, bad); !errors.As(err, &mismatch) {
+	if err := c.Complete(lease.ID, bad, nil); !errors.As(err, &mismatch) {
 		t.Fatalf("Complete against journaled digest: %v, want DigestMismatchError", err)
 	}
 	if out := waitOutcome(t, done); !errors.As(out.err, &mismatch) {
@@ -315,7 +315,7 @@ func TestCompleteRejectsCorruptPayload(t *testing.T) {
 	}
 	obs := mkObs(0, 4, shapley.ObservedCell{Round: 0, Col: 0, Value: 1})
 	obs.Cells[0].Value = 99 // corrupt after stamping
-	if err := c.Complete(lease.ID, obs); err == nil {
+	if err := c.Complete(lease.ID, obs, nil); err == nil {
 		t.Fatal("Complete accepted a payload whose digest does not verify")
 	}
 	if st := c.Stats(); st.DigestMismatches != 1 {
@@ -366,7 +366,7 @@ func TestCloseFailsQueuedAndLeased(t *testing.T) {
 	if out := waitOutcome(t, queued); !errors.Is(out.err, ErrClosed) {
 		t.Fatalf("queued Execute after Close: %v, want ErrClosed", out.err)
 	}
-	if err := c.Complete(lease.ID, mkObs(0, 4)); err == nil {
+	if err := c.Complete(lease.ID, mkObs(0, 4), nil); err == nil {
 		t.Fatal("Complete after Close succeeded")
 	}
 	if _, err := c.Lease(context.Background(), "w1"); !errors.Is(err, ErrClosed) {
@@ -383,7 +383,7 @@ func TestAbandonedExecuteRevokesLease(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := c.Execute(ctx, testTask())
+		_, _, err := c.Execute(ctx, testTask())
 		done <- err
 	}()
 	lease, err := c.Lease(context.Background(), "w1")
@@ -397,7 +397,7 @@ func TestAbandonedExecuteRevokesLease(t *testing.T) {
 	// The revocation lands asynchronously with the cancellation.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if err := c.Complete(lease.ID, mkObs(0, 4)); errors.Is(err, ErrUnknownLease) {
+		if err := c.Complete(lease.ID, mkObs(0, 4), nil); errors.Is(err, ErrUnknownLease) {
 			return
 		}
 		if time.Now().After(deadline) {

@@ -35,6 +35,13 @@ const (
 	// task record's shard.
 	OpJournalBefore = "journal.before"
 	OpJournalAfter  = "journal.after"
+	// OpCellsBefore is consulted before a cell-cache batch is appended to
+	// a run's sidecar (an injected crash here loses the batch);
+	// OpCellsAfter after the batch is durably on disk (a crash here keeps
+	// it). Stage is the flush boundary the producer names (e.g. "merge",
+	// "extract", or "worker"); Shard is -1; JobID carries the run ID.
+	OpCellsBefore = "cells.before"
+	OpCellsAfter  = "cells.after"
 	// OpQuarantine is consulted between a journal quarantine's rename and
 	// the directory sync that makes it durable — an injected crash here
 	// models losing the directory update, the window in which a crashed

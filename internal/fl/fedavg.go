@@ -118,6 +118,45 @@ func (r *Run) Utility(t int, s []int) float64 {
 	return rd.TestLoss - r.Model.Loss(wS, r.Test)
 }
 
+// UtilityScratch holds the reusable buffers of allocation-free utility
+// evaluation: the local-model pointer slice and the aggregate vector that
+// Run.Utility otherwise rebuilds on every call. A scratch may be reused
+// across calls on one goroutine; it is not safe for concurrent use — pool
+// scratches per worker instead.
+type UtilityScratch struct {
+	vecs [][]float64
+	mean []float64
+}
+
+// AggregateInto computes the uniform FedAvg aggregate w_S^{t+1} — the
+// element-wise mean of the locals of S — into the scratch and returns the
+// aggregate vector, owned by sc and valid until its next use. The
+// accumulation order matches mat.MeanVecs exactly, so the aggregate is
+// bit-identical to the one Utility computes; after the scratch's buffers
+// have grown to the model size, the aggregation performs zero
+// allocations. It panics if S is empty.
+func (r *Run) AggregateInto(sc *UtilityScratch, t int, s []int) []float64 {
+	if len(s) == 0 {
+		panic("fl: utility of empty coalition")
+	}
+	rd := &r.Rounds[t]
+	sc.vecs = sc.vecs[:0]
+	for _, c := range s {
+		sc.vecs = append(sc.vecs, rd.Locals[c])
+	}
+	sc.mean = mat.MeanVecsInto(sc.mean, sc.vecs)
+	return sc.mean
+}
+
+// UtilityInto is Utility with caller-provided scratch: same value, bit for
+// bit, without the per-call slice allocations of the aggregation step. It
+// is the memoized evaluator's hot path — the cache-miss cost reduces to
+// the irreducible test-loss evaluation.
+func (r *Run) UtilityInto(sc *UtilityScratch, t int, s []int) float64 {
+	wS := r.AggregateInto(sc, t, s)
+	return r.Rounds[t].TestLoss - r.Model.Loss(wS, r.Test)
+}
+
 // TrainRun executes FedAvg and records the full trace. Every client
 // computes its local update in every round (needed by the ground-truth
 // utility matrix); only the selected subset is aggregated, so the global

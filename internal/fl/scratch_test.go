@@ -1,0 +1,95 @@
+package fl
+
+import (
+	"testing"
+
+	"comfedsv/internal/dataset"
+	"comfedsv/internal/mat"
+	"comfedsv/internal/model"
+	"comfedsv/internal/rng"
+)
+
+// trainedScenario trains a small run for the scratch tests and benchmarks.
+func trainedScenario(tb testing.TB, clients, rounds int) *Run {
+	tb.Helper()
+	full := dataset.GenerateImages(dataset.MNISTLikeConfig(17), clients*30+60)
+	g := rng.New(18)
+	train, test := dataset.TrainTestSplit(full, float64(60)/float64(full.Len()), g)
+	parts := dataset.PartitionIID(train, clients, g)
+	m := model.NewMLP(full.Dim(), 8, full.NumClasses)
+	run, err := TrainRun(DefaultConfig(rounds, 2), m, parts, test)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return run
+}
+
+func TestUtilityIntoBitIdentical(t *testing.T) {
+	run := trainedScenario(t, 5, 3)
+	var sc UtilityScratch
+	sets := [][]int{{0}, {1, 3}, {0, 2, 4}, {0, 1, 2, 3, 4}, {4, 2}}
+	for ti := range run.Rounds {
+		for _, s := range sets {
+			want := run.Utility(ti, s)
+			got := run.UtilityInto(&sc, ti, s)
+			if got != want {
+				t.Fatalf("round %d set %v: UtilityInto %v != Utility %v (must be bit-identical)", ti, s, got, want)
+			}
+		}
+	}
+}
+
+func TestUtilityIntoEmptyPanics(t *testing.T) {
+	run := trainedScenario(t, 3, 2)
+	var sc UtilityScratch
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty coalition")
+		}
+	}()
+	run.UtilityInto(&sc, 0, nil)
+}
+
+func TestAggregateIntoZeroAllocs(t *testing.T) {
+	run := trainedScenario(t, 5, 2)
+	var sc UtilityScratch
+	s := []int{0, 2, 4}
+	// Warm the scratch so its buffers reach model size.
+	run.AggregateInto(&sc, 0, s)
+	allocs := testing.AllocsPerRun(50, func() {
+		run.AggregateInto(&sc, 1, s)
+	})
+	if allocs != 0 {
+		t.Fatalf("AggregateInto allocated %v times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkAggregate compares the allocating and scratch-backed
+// aggregation paths; run with -benchmem to see the 0 allocs/op of the
+// Into variant.
+func BenchmarkAggregate(b *testing.B) {
+	run := trainedScenario(b, 8, 2)
+	s := []int{0, 2, 4, 6}
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rd := &run.Rounds[0]
+			vecs := make([][]float64, len(s))
+			for j, c := range s {
+				vecs[j] = rd.Locals[c]
+			}
+			sinkVec = mat.MeanVecs(vecs)
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		var sc UtilityScratch
+		run.AggregateInto(&sc, 0, s) // grow buffers once
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sinkVec = run.AggregateInto(&sc, 0, s)
+		}
+	})
+}
+
+var sinkVec []float64

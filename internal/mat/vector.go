@@ -115,6 +115,40 @@ func MeanVecs(vecs [][]float64) []float64 {
 	return out
 }
 
+// MeanVecsInto computes the element-wise mean of the given vectors into a
+// caller-owned buffer, growing it only when its capacity is insufficient,
+// and returns the (possibly re-sliced) buffer. The accumulation order —
+// sum the vectors in input order, then scale by 1/len — is exactly
+// MeanVecs's, so the result is bit-identical to MeanVecs(vecs); callers
+// that reuse the buffer pay zero allocations on the memoized-utility hot
+// path. It panics if vecs is empty or ragged.
+func MeanVecsInto(dst []float64, vecs [][]float64) []float64 {
+	if len(vecs) == 0 {
+		panic("mat: mean of no vectors")
+	}
+	n := len(vecs[0])
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, v := range vecs {
+		if len(v) != n {
+			panic("mat: ragged vectors in mean")
+		}
+		for i, x := range v {
+			dst[i] += x
+		}
+	}
+	inv := 1 / float64(len(vecs))
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return dst
+}
+
 // ArgMax returns the index of the maximum element of v (first one on ties);
 // it returns -1 for an empty slice.
 func ArgMax(v []float64) int {

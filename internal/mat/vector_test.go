@@ -161,3 +161,37 @@ func clampT(x float64) float64 {
 	}
 	return math.Mod(x, 50)
 }
+
+func TestMeanVecsInto(t *testing.T) {
+	vecs := [][]float64{{1, 2, 3}, {4, 5, 7}, {0.1, 0.2, 0.3}}
+	want := MeanVecs(vecs)
+	got := MeanVecsInto(nil, vecs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("elem %d: MeanVecsInto %v != MeanVecs %v (must be bit-identical)", i, got[i], want[i])
+		}
+	}
+	// Reuse a dirty, over-sized buffer: same result, same backing array.
+	buf := []float64{9, 9, 9, 9, 9}
+	got2 := MeanVecsInto(buf, vecs)
+	if &got2[0] != &buf[0] {
+		t.Fatal("MeanVecsInto reallocated despite sufficient capacity")
+	}
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Fatalf("reused buffer elem %d: %v != %v", i, got2[i], want[i])
+		}
+	}
+	if allocs := testing.AllocsPerRun(20, func() { buf = MeanVecsInto(buf, vecs) }); allocs != 0 {
+		t.Fatalf("MeanVecsInto with warm buffer allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestMeanVecsIntoEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MeanVecsInto(nil, nil)
+}

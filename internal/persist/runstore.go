@@ -118,7 +118,9 @@ func (s *RunStore) ListRuns() ([]string, error) {
 	return ids, nil
 }
 
-// DeleteRun removes the stored trace. A missing trace is not an error.
+// DeleteRun removes the stored trace along with the run's cell-cache
+// sidecar and any quarantined copy — cached cells are meaningless without
+// their trace. Missing files are not an error.
 func (s *RunStore) DeleteRun(id string) error {
 	path, err := s.path(id)
 	if err != nil {
@@ -127,5 +129,5 @@ func (s *RunStore) DeleteRun(id string) error {
 	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("persist: %w", err)
 	}
-	return nil
+	return s.RemoveCells(id)
 }

@@ -1,0 +1,170 @@
+package service
+
+import (
+	"errors"
+
+	"comfedsv"
+	"comfedsv/internal/faultinject"
+	"comfedsv/internal/utility"
+)
+
+// The persistent utility-cell cache: every shared run may carry a
+// `<runID>.cells` sidecar in the RunStore — an append-only log of
+// evaluated utility cells. A run's evaluator is warm-started from the
+// sidecar when the trace becomes available (freshly trained or recovered
+// from disk), newly evaluated cells are flushed back at the merge-wave
+// and job-completion boundaries, and remote workers ship their deltas
+// home with each shard completion. Cells are pure functions of the
+// training trace, so a warm cache returns exactly the values a cold one
+// would recompute — reports stay byte-identical; only the wall-clock
+// changes.
+//
+// The cache is strictly an optimization, so every failure path degrades
+// rather than fails: an unreadable or unverifiable sidecar is
+// quarantined and the run proceeds cold; an append failure is logged and
+// the job continues. The one exception mirrors appendJournal: a
+// simulated crash (faultinject.ErrCrash) is surfaced so the task dies
+// like the process did — the seam the sidecar chaos sweep drives.
+
+// Cell-cache flush-boundary stage names, recorded in faultinject points.
+const (
+	cellStageMerge   = "merge"   // completeTask, after a merge wave
+	cellStageExtract = "extract" // extractTask, before the report persists
+	cellStageWorker  = "worker"  // remoteObserve, absorbing a worker delta
+)
+
+// cellCacheEnabled reports whether the persistent cell cache is active.
+func (m *Manager) cellCacheEnabled() bool {
+	return m.cfg.RunStore != nil && !m.cfg.DisableCellCache
+}
+
+// preloadCells warm-starts a run's evaluator from its sidecar. Called
+// without m.mu held, by the goroutine that owns the trace's publication
+// (trainRun, or runTrained's loadOnce) — so no job can be evaluating
+// against tr yet, but the path is safe either way: Preload only installs
+// absent cells. Every failure degrades to a cold cache: a damaged
+// sidecar is quarantined (batches that verified before the damage stay
+// installed — they are known-good) and the run proceeds.
+func (m *Manager) preloadCells(id string, tr *comfedsv.TrainedRun) {
+	if !m.cellCacheEnabled() || tr == nil {
+		return
+	}
+	batches, err := m.cfg.RunStore.ReadCells(id)
+	if err != nil {
+		m.quarantineCells(id, err)
+		return
+	}
+	added := 0
+	for _, b := range batches {
+		n, perr := tr.PreloadCells(b)
+		if perr != nil {
+			m.quarantineCells(id, perr)
+			break
+		}
+		added += n
+	}
+	if added == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.cellsPreloaded += int64(added)
+	m.mu.Unlock()
+	m.logRun("cell cache preloaded", id, "cells", added, "batches", len(batches))
+}
+
+// quarantineCells renames a damaged sidecar out of the preload path and
+// counts the corruption. The run continues cold — a broken cache must
+// never fail a run or a job.
+func (m *Manager) quarantineCells(id string, cause error) {
+	dst, qerr := m.cfg.RunStore.QuarantineCells(id)
+	if qerr != nil {
+		dst = "(rename failed: " + qerr.Error() + ")"
+	}
+	m.mu.Lock()
+	m.cellsCorrupt++
+	m.mu.Unlock()
+	m.logRun("cell cache corrupt, quarantined", id, "quarantine", dst, "error", cause.Error())
+}
+
+// jobTrainedRun returns the shared TrainedRun a run-backed job values
+// against, nil when the pipeline has none to expose (scripted tests,
+// monolithic hooks, or a stage before Prepare resolved the run).
+func jobTrainedRun(j *job) *comfedsv.TrainedRun {
+	tc, ok := j.val.(traceCarrier)
+	if !ok {
+		return nil
+	}
+	return tc.TrainedRun()
+}
+
+// flushCells drains the cells a run-backed job's evaluator newly
+// computed and appends them durably to the run's sidecar. Best-effort
+// like appendJournal — a disk hiccup is logged and the job continues —
+// except for faultinject.ErrCrash, which is returned so the task fails
+// like process death. Callers must not hold m.mu (AppendCells fsyncs).
+func (m *Manager) flushCells(j *job, stage string) error {
+	if j.runID == "" || !m.cellCacheEnabled() {
+		return nil
+	}
+	tr := jobTrainedRun(j)
+	if tr == nil {
+		return nil
+	}
+	b := tr.ExportNewCells()
+	if b == nil {
+		return nil
+	}
+	if err := m.cfg.RunStore.AppendCells(j.runID, b, stage, m.cfg.FaultHook); err != nil {
+		if errors.Is(err, faultinject.ErrCrash) {
+			return err
+		}
+		m.logJob("cell cache append failed", j, "stage", stage, "error", err.Error())
+		return nil
+	}
+	m.mu.Lock()
+	m.cellsPersisted += int64(len(b.Cells))
+	m.mu.Unlock()
+	return nil
+}
+
+// absorbCells installs a remote worker's cell delta into the job's run
+// evaluator and, when it contributed anything new, appends the batch to
+// the sidecar so the warmth survives a restart. The batch is verified
+// here (digest plus per-cell bounds against the actual run) — dispatch
+// carried it opaquely. A bad batch is dropped with a log line, never
+// quarantining the sidecar it never touched; an append failure is
+// best-effort except for a simulated crash, mirroring flushCells.
+func (m *Manager) absorbCells(j *job, b *utility.CellBatch) error {
+	if b == nil || j.runID == "" || !m.cellCacheEnabled() {
+		return nil
+	}
+	tr := jobTrainedRun(j)
+	if tr == nil {
+		return nil
+	}
+	added, err := tr.PreloadCells(b)
+	if err != nil {
+		m.logJob("worker cell batch rejected", j, "error", err.Error())
+		return nil
+	}
+	if added == 0 {
+		// Everything in the batch is already cached locally (durable, or
+		// pending a flush of its own); appending would only bloat the
+		// sidecar with duplicates.
+		return nil
+	}
+	m.mu.Lock()
+	m.cellsPreloaded += int64(added)
+	m.mu.Unlock()
+	if err := m.cfg.RunStore.AppendCells(j.runID, b, cellStageWorker, m.cfg.FaultHook); err != nil {
+		if errors.Is(err, faultinject.ErrCrash) {
+			return err
+		}
+		m.logJob("cell cache append failed", j, "stage", cellStageWorker, "error", err.Error())
+		return nil
+	}
+	m.mu.Lock()
+	m.cellsPersisted += int64(len(b.Cells))
+	m.mu.Unlock()
+	return nil
+}

@@ -43,6 +43,17 @@ type Metrics struct {
 	// lookups amortized by the shared memo table.
 	RunCaches []RunCacheMetric
 
+	// Persistent cell-cache counters. CellsPreloaded counts cells
+	// warm-started into run evaluators (from sidecars at trace load and
+	// from worker deltas); CellsPersisted counts cells durably appended
+	// to sidecars; CellsWarmHits counts cache hits served by a preloaded
+	// cell — evaluations some earlier process or worker paid for;
+	// CellsCorrupt counts sidecars quarantined as damaged.
+	CellsPreloaded int64
+	CellsPersisted int64
+	CellsWarmHits  int64
+	CellsCorrupt   int64
+
 	// TaskLatency holds per-stage latency histograms of scheduler task
 	// executions, keyed by stage name (prepare, observe, complete,
 	// shapley). Each observation is one task's wall-clock execution time.
@@ -80,6 +91,9 @@ func (m *Manager) Metrics() Metrics {
 		JobsRecovered:         m.jobsRecovered,
 		JobsRejected:          m.jobsRejected,
 		ObservationsSkipped:   m.obsSkipped,
+		CellsPreloaded:        m.cellsPreloaded,
+		CellsPersisted:        m.cellsPersisted,
+		CellsCorrupt:          m.cellsCorrupt,
 		TaskLatency:           make(map[string]telemetry.HistogramSnapshot, len(m.taskHist)),
 		ValuationStageLatency: make(map[string]telemetry.HistogramSnapshot, len(m.valHist)),
 		JobDuration:           m.jobHist.Snapshot(),
@@ -112,6 +126,8 @@ func (m *Manager) Metrics() Metrics {
 			cs := e.tr.CacheStats()
 			rc.Hits = cs.Hits
 			rc.Misses = cs.Misses
+			_, warm := e.tr.CellCacheStats()
+			snap.CellsWarmHits += int64(warm)
 		}
 		snap.RunCaches = append(snap.RunCaches, rc)
 	}

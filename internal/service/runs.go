@@ -254,6 +254,12 @@ func (m *Manager) trainRun(ctx context.Context, e *runEntry, spec RunSpec) {
 			warn = fmt.Errorf("service: persisting run: %w", serr)
 		}
 	}
+	if err == nil {
+		// Warm-start from the cell sidecar a previous process (or a
+		// retried training of the same content address) left behind —
+		// before the run is published, so the first job already hits.
+		m.preloadCells(e.id, tr)
+	}
 
 	m.mu.Lock()
 	e.cancelTrain = nil
@@ -325,6 +331,9 @@ func (m *Manager) runTrained(e *runEntry) (*comfedsv.TrainedRun, error) {
 			return
 		}
 		e.loadTr = comfedsv.NewTrainedRun(run)
+		// Recovered run, fresh evaluator: warm-start it from the sidecar
+		// inside the once, before any waiter can evaluate against it.
+		m.preloadCells(e.id, e.loadTr)
 	})
 
 	m.mu.Lock()

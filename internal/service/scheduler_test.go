@@ -392,7 +392,9 @@ func (f *failingShardValuation) ObserveShard(ctx context.Context, shard int) err
 	return f.fake.ObserveShard(ctx, shard)
 }
 
-func (f *failingShardValuation) Complete(ctx context.Context) (int, error) { return f.fake.Complete(ctx) }
+func (f *failingShardValuation) Complete(ctx context.Context) (int, error) {
+	return f.fake.Complete(ctx)
+}
 
 func (f *failingShardValuation) Extract(ctx context.Context) (*comfedsv.Report, error) {
 	return f.fake.Extract(ctx)

@@ -143,6 +143,18 @@ type Config struct {
 	// runs are exposed as ready runs at startup (traces load lazily from
 	// disk on first use).
 	RunStore *persist.RunStore
+	// DisableCellCache turns off the persistent run-scoped utility-cell
+	// cache. When a RunStore is configured (and this is false), every
+	// shared run carries a `<runID>.cells` sidecar: newly evaluated
+	// utility cells are flushed to it at merge-wave and job-completion
+	// boundaries, and a run's evaluator is warm-started from it when the
+	// trace is trained or recovered — so a second job over the same run,
+	// even in a fresh process or on a remote worker, skips the test-loss
+	// evaluations the first job already paid for. Cells are pure functions
+	// of the trace, so warmth never changes a byte of any report; the knob
+	// exists for A/B comparison and for tests that need a guaranteed cold
+	// cache.
+	DisableCellCache bool
 	// DefaultParallelism is the Options.Parallelism applied to submissions
 	// that leave it 0: the per-task CPU budget for the valuation hot path.
 	// 0 means a fair share of the machine across the worker pool —
@@ -353,6 +365,13 @@ type Manager struct {
 	jobsEvicted int64
 	obsSkipped  int64 // budgeted-but-unsampled permutations of done adaptive jobs
 	janitorStop chan struct{}
+
+	// Cell-cache counters (guarded by mu): cells warm-started into run
+	// evaluators from sidecars and worker deltas, cells durably appended
+	// to sidecars, and sidecars quarantined as corrupt.
+	cellsPreloaded int64
+	cellsPersisted int64
+	cellsCorrupt   int64
 
 	// Fault-tolerance state. pendingRetries counts tasks sleeping out a
 	// retry backoff across all jobs — workers must not exit while one is

@@ -321,11 +321,16 @@ func (m *Manager) remoteObserve(ctx context.Context, j *job, shard int) error {
 			return err
 		}
 	}
-	obs, err := m.cfg.Dispatcher.Execute(ctx, task)
+	obs, cells, err := m.cfg.Dispatcher.Execute(ctx, task)
 	if err != nil {
 		return err
 	}
-	return rv.ImportShard(shard, obs)
+	if err := rv.ImportShard(shard, obs); err != nil {
+		return err
+	}
+	// The worker's cache delta rides the completion: warm the shared
+	// evaluator and persist the batch so the warmth survives a restart.
+	return m.absorbCells(j, cells)
 }
 
 // completeTask merges the shards in deterministic serial order and runs
@@ -347,6 +352,12 @@ func (m *Manager) completeTask(j *job) *task {
 			}
 			if jerr := m.appendJournal(j, persist.JournalRecord{Type: persist.RecTask, Stage: taskComplete, Shards: n}); jerr != nil {
 				return jerr
+			}
+			// Merge-wave flush: every cell the wave's shards evaluated is
+			// durable before the next wave (or the extraction) runs, so a
+			// crash between waves warm-starts the recovery.
+			if ferr := m.flushCells(j, cellStageMerge); ferr != nil {
+				return ferr
 			}
 			more = n
 			return nil
@@ -381,6 +392,11 @@ func (m *Manager) extractTask(j *job) *task {
 			rep, err := j.val.Extract(ctx)
 			if err != nil {
 				return err
+			}
+			// Job-completion flush, before the report persists: a crash
+			// here leaves the journal, and the re-run starts warm.
+			if ferr := m.flushCells(j, cellStageExtract); ferr != nil {
+				return ferr
 			}
 			var persistErr error
 			if m.cfg.Store != nil {

@@ -19,12 +19,12 @@ func TestCounter(t *testing.T) {
 
 func TestHistogramBucketPlacement(t *testing.T) {
 	h := NewHistogram(0.01, 0.1, 1)
-	h.Observe(0.005)  // bucket 0 (<= 0.01)
-	h.Observe(0.01)   // bucket 0 (boundary is inclusive)
-	h.Observe(0.05)   // bucket 1
-	h.Observe(0.5)    // bucket 2
-	h.Observe(3)      // +Inf bucket
-	h.Observe(1000)   // +Inf bucket
+	h.Observe(0.005) // bucket 0 (<= 0.01)
+	h.Observe(0.01)  // bucket 0 (boundary is inclusive)
+	h.Observe(0.05)  // bucket 1
+	h.Observe(0.5)   // bucket 2
+	h.Observe(3)     // +Inf bucket
+	h.Observe(1000)  // +Inf bucket
 	s := h.Snapshot()
 	want := []uint64{2, 1, 1, 2}
 	for i, w := range want {

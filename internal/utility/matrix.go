@@ -23,10 +23,13 @@ import (
 // cell no matter how many goroutines race for it, making Calls an exact
 // count of the Section VII-D cost model.
 type Evaluator struct {
-	run    *fl.Run
-	calls  atomic.Int64
-	hits   atomic.Int64
-	shards [evalShards]evalShard
+	run       *fl.Run
+	calls     atomic.Int64
+	hits      atomic.Int64
+	preloaded atomic.Int64
+	warmHits  atomic.Int64
+	scratch   sync.Pool
+	shards    [evalShards]evalShard
 }
 
 // evalShards is the number of lock stripes. 64 keeps the per-stripe maps
@@ -38,6 +41,21 @@ type evalShard struct {
 	mu       sync.Mutex
 	cache    map[cellKey]float64
 	inflight map[cellKey]chan struct{}
+	// pending lists the cells this stripe evaluated (not preloaded) since
+	// the last ExportNew drain — the delta the persistent cell cache and
+	// the dispatch path ship.
+	pending []cellKey
+	// preloaded marks cells installed by Preload rather than evaluated
+	// here, so lookups served by a warm start are attributable.
+	preloaded map[cellKey]struct{}
+}
+
+// evalScratch is the per-goroutine reusable state of one cache-miss
+// evaluation: the member buffer and the fl aggregation scratch. Pooled so
+// concurrent misses on different cells each get their own.
+type evalScratch struct {
+	members []int
+	fl      fl.UtilityScratch
 }
 
 type cellKey struct {
@@ -59,6 +77,7 @@ func (ck cellKey) shard() uint64 {
 // NewEvaluator wraps a completed run.
 func NewEvaluator(run *fl.Run) *Evaluator {
 	e := &Evaluator{run: run}
+	e.scratch.New = func() any { return new(evalScratch) }
 	for i := range e.shards {
 		e.shards[i].cache = make(map[cellKey]float64)
 		e.shards[i].inflight = make(map[cellKey]chan struct{})
@@ -79,6 +98,95 @@ func (e *Evaluator) Calls() int { return int(e.calls.Load()) }
 // hit/miss ledger a shared evaluator exposes per training run.
 func (e *Evaluator) Hits() int { return int(e.hits.Load()) }
 
+// Preloaded returns the number of cells installed by Preload — memoized
+// values inherited from a previous process or another worker rather than
+// evaluated here.
+func (e *Evaluator) Preloaded() int { return int(e.preloaded.Load()) }
+
+// WarmHits returns the number of lookups served by preloaded cells — the
+// evaluations a warm start actually avoided (each avoided test-loss call
+// counts once per lookup, like Hits).
+func (e *Evaluator) WarmHits() int { return int(e.warmHits.Load()) }
+
+// Preload installs a batch of previously evaluated cells into the memo
+// table without counting them as Calls, so a warm-started evaluator's
+// distinct-evaluation ledger still reflects only the work this process
+// performed. The batch's digest, universe, and every cell's coordinates
+// are validated before anything is installed — a bad batch changes
+// nothing and returns an error so the caller can quarantine its source.
+// Cells already cached (evaluated or preloaded) are skipped; the count of
+// newly installed cells is returned. Preloaded cells are never re-exported
+// by ExportNew.
+func (e *Evaluator) Preload(b *CellBatch) (int, error) {
+	if b == nil || len(b.Cells) == 0 {
+		return 0, nil
+	}
+	n := e.run.NumClients()
+	if b.N != n {
+		return 0, fmt.Errorf("utility: cell batch universe %d, run universe %d", b.N, n)
+	}
+	if err := b.Verify(); err != nil {
+		return 0, err
+	}
+	rounds := len(e.run.Rounds)
+	keys := make([]cellKey, len(b.Cells))
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if c.Round < 0 || c.Round >= rounds {
+			return 0, fmt.Errorf("utility: cell round %d outside run of %d rounds", c.Round, rounds)
+		}
+		ck, err := cellKeyOf(n, c)
+		if err != nil {
+			return 0, err
+		}
+		keys[i] = ck
+	}
+	added := 0
+	for i, ck := range keys {
+		sh := &e.shards[ck.shard()]
+		sh.mu.Lock()
+		if _, ok := sh.cache[ck]; !ok {
+			sh.cache[ck] = b.Cells[i].Value
+			if sh.preloaded == nil {
+				sh.preloaded = make(map[cellKey]struct{})
+			}
+			sh.preloaded[ck] = struct{}{}
+			added++
+		}
+		sh.mu.Unlock()
+	}
+	e.preloaded.Add(int64(added))
+	return added, nil
+}
+
+// ExportNew drains and returns the cells evaluated since the last drain —
+// misses this evaluator actually paid for, excluding preloaded ones — as
+// a canonical stamped batch, or nil if nothing new was evaluated. It is
+// the producer half of the persistent cell cache: the service flushes
+// drains to the run's sidecar, workers ship them with shard completions.
+// Safe for concurrent use with evaluations; a cell evaluated concurrently
+// with the drain lands in the next batch.
+func (e *Evaluator) ExportNew() *CellBatch {
+	n := e.run.NumClients()
+	var cells []SnapshotCell
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for _, ck := range sh.pending {
+			mask, key := snapshotKey(ck)
+			cells = append(cells, SnapshotCell{Round: ck.t, Mask: mask, Key: key, Value: sh.cache[ck]})
+		}
+		sh.pending = nil
+		sh.mu.Unlock()
+	}
+	if len(cells) == 0 {
+		return nil
+	}
+	b := &CellBatch{N: n, Cells: cells}
+	b.Stamp()
+	return b
+}
+
 // Utility returns U_t(S). The empty coalition has utility 0 by convention.
 func (e *Evaluator) Utility(t int, s Set) float64 {
 	if s.IsEmpty() {
@@ -98,6 +206,9 @@ func (e *Evaluator) utility(t int, s Set, ck cellKey) (float64, bool) {
 	sh.mu.Lock()
 	for {
 		if v, ok := sh.cache[ck]; ok {
+			if _, warm := sh.preloaded[ck]; warm {
+				e.warmHits.Add(1)
+			}
 			sh.mu.Unlock()
 			e.hits.Add(1)
 			return v, false
@@ -128,10 +239,14 @@ func (e *Evaluator) utility(t int, s Set, ck cellKey) (float64, bool) {
 			close(done)
 		}
 	}()
-	v := e.run.Utility(t, s.Members())
+	sc := e.scratch.Get().(*evalScratch)
+	sc.members = s.AppendMembers(sc.members[:0])
+	v := e.run.UtilityInto(&sc.fl, t, sc.members)
+	e.scratch.Put(sc)
 
 	sh.mu.Lock()
 	sh.cache[ck] = v
+	sh.pending = append(sh.pending, ck)
 	delete(sh.inflight, ck)
 	sh.mu.Unlock()
 	e.calls.Add(1)

@@ -8,7 +8,6 @@ package utility
 import (
 	"fmt"
 	"math/bits"
-	"sort"
 )
 
 // Set is a fixed-universe bitset over clients {0, …, n-1}. It is the column
@@ -84,16 +83,23 @@ func (s Set) IsEmpty() bool {
 
 // Members returns the sorted member list.
 func (s Set) Members() []int {
-	out := make([]int, 0, s.Len())
+	return s.AppendMembers(make([]int, 0, s.Len()))
+}
+
+// AppendMembers appends the members of S to buf in ascending order and
+// returns the extended slice — the allocation-free counterpart of Members
+// for callers that reuse a scratch buffer. Word-order iteration with
+// trailing-zero extraction already yields ascending indices, so no sort is
+// needed.
+func (s Set) AppendMembers(buf []int) []int {
 	for wi, w := range s.words {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
-			out = append(out, wi*64+b)
+			buf = append(buf, wi*64+b)
 			w &= w - 1
 		}
 	}
-	sort.Ints(out)
-	return out
+	return buf
 }
 
 // Clone returns an independent copy.
